@@ -1,0 +1,31 @@
+//! Ablation A1 — CPT data quality (clean vs LaTeX-artefact vs heavy OCR vs
+//! OCR + Nougat cleaning), supporting the paper's claim that high-quality
+//! information-dense CPT tokens are critical (§VI, and the motivation for
+//! the Summary recipe and the Nougat OCR effort of §III).
+//!
+//! ```sh
+//! cargo run --release -p astro-bench --bin ablation_data_quality -- [smoke|fast|full] [seed]
+//! ```
+
+use astro_bench::preset_from_args;
+use astromlab::ablations::{ablation_data_quality, render_ablation};
+use astromlab::Study;
+
+fn main() {
+    let config = preset_from_args("ablation_data_quality");
+    let study = Study::prepare(config);
+    eprintln!("CPT'ing the 8B-class native through 4 noise channels ...");
+    let points = ablation_data_quality(&study);
+    println!(
+        "\n{}",
+        render_ablation(
+            "A1: token-base score after CPT on AIC content by data quality",
+            &points,
+            None
+        )
+    );
+    println!(
+        "expected shape: clean ≥ latex-artifacts ≥ heavy-ocr, with nougat cleaning \
+         recovering part of the heavy-ocr gap."
+    );
+}

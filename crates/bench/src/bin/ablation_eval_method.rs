@@ -1,0 +1,29 @@
+//! Ablation A4 — evaluation-method options from Appendix C: two-shot vs
+//! zero-shot prompting and dynamic answer-token-variant detection on/off.
+//!
+//! ```sh
+//! cargo run --release -p astro-bench --bin ablation_eval_method -- [smoke|fast|full] [seed]
+//! ```
+
+use astro_bench::preset_from_args;
+use astromlab::ablations::{ablation_eval_method, render_ablation};
+use astromlab::Study;
+
+fn main() {
+    let config = preset_from_args("ablation_eval_method");
+    let study = Study::prepare(config);
+    eprintln!("evaluating the 8B-class native under 4 token-method settings ...");
+    let points = ablation_eval_method(&study);
+    println!(
+        "\n{}",
+        render_ablation(
+            "A4: token-base score by evaluation-method options (8B-class native)",
+            &points,
+            None
+        )
+    );
+    println!(
+        "expected shape: two-shot ≥ zero-shot (the examples 'give the model a clear \
+         pattern to follow'), and variant detection ≥ bare letters."
+    );
+}

@@ -1,0 +1,34 @@
+//! Ablation A3 — capacity sweep: native vs CPT'd token-base scores per
+//! tier. This is the paper's central contrast (7B forgets, 70B gains) as
+//! a single controlled experiment.
+//!
+//! ```sh
+//! cargo run --release -p astro-bench --bin ablation_scale -- [smoke|fast|full] [seed]
+//! ```
+
+use astro_bench::preset_from_args;
+use astromlab::ablations::{ablation_scale, render_ablation};
+use astromlab::Study;
+
+fn main() {
+    let config = preset_from_args("ablation_scale");
+    let study = Study::prepare(config);
+    eprintln!("pretraining + CPT'ing all three tiers ...");
+    let points = ablation_scale(&study);
+    println!(
+        "\n{}",
+        render_ablation(
+            "A3: token-base score, native (primary) vs CPT-AIC (secondary), by capacity tier",
+            &points,
+            Some("after CPT")
+        )
+    );
+    for p in &points {
+        let delta = p.secondary - p.score;
+        println!("  {:<14} CPT delta: {delta:+.1} points", p.label);
+    }
+    println!(
+        "\nexpected shape (paper): 7B-class delta negative (catastrophic forgetting), \
+         8B-class ≈ neutral, 70B-class positive (+2.1 in the paper)."
+    );
+}

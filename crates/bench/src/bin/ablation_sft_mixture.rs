@@ -1,0 +1,31 @@
+//! Ablation A2 — SFT mixture: astronomy fraction and dataset size,
+//! probing the paper's conclusion that "the current SFT dataset ... is
+//! insufficient" and that content mix, not just size, drives the
+//! instruct-model degradation (§VI).
+//!
+//! ```sh
+//! cargo run --release -p astro-bench --bin ablation_sft_mixture -- [smoke|fast|full] [seed]
+//! ```
+
+use astro_bench::preset_from_args;
+use astromlab::ablations::{ablation_sft_mixture, render_ablation};
+use astromlab::Study;
+
+fn main() {
+    let config = preset_from_args("ablation_sft_mixture");
+    let study = Study::prepare(config);
+    eprintln!("SFT'ing the 8B-class AIC model under 4 mixtures ...");
+    let points = ablation_sft_mixture(&study);
+    println!(
+        "\n{}",
+        render_ablation(
+            "A2: full-instruct score by SFT mixture (secondary: token-instruct)",
+            &points,
+            Some("token-instruct")
+        )
+    );
+    println!(
+        "expected shape: astronomy-focused mixtures preserve full-instruct ability best; \
+         the paper's 1/3-astro mixture sits between the extremes; shrinking the set hurts."
+    );
+}

@@ -1,0 +1,51 @@
+//! Regenerate **Figure 1**: per-model scores under the three prompting
+//! styles with native full-instruct baselines as horizontal lines, as an
+//! ASCII chart plus a CSV series for external plotting.
+//!
+//! ```sh
+//! cargo run --release -p astro-bench --bin figure1 -- [smoke|fast|full] [seed]
+//! ```
+
+use astro_bench::preset_from_args;
+use astromlab::eval::FlagshipOracle;
+use astromlab::prng::Rng;
+use astromlab::study::build_rows;
+use astromlab::{ModelId, Study};
+
+fn main() {
+    let config = preset_from_args("figure1");
+    let study = Study::prepare(config);
+    eprintln!("training + evaluating the 8-model zoo ...");
+    let result = study.run_table1();
+
+    // Flagship context (paper §VI): noisy calibrated oracles scored on the
+    // same evaluation subset.
+    let questions = study.eval_questions();
+    let mut orng = Rng::seed_from(study.config.seed).substream("flagship-oracles");
+    println!("\nflagship oracles on this benchmark subset:");
+    for oracle in FlagshipOracle::paper_flagships() {
+        println!(
+            "  {:<22} calibrated {:.1}% → measured {:.1}%",
+            oracle.name,
+            oracle.accuracy * 100.0,
+            oracle.score(&questions, &mut orng)
+        );
+    }
+
+    println!("\n=== Figure 1 (measured, this reproduction) ===\n");
+    println!("{}", result.figure1);
+
+    println!("=== Figure 1 (paper scores, same renderer) ===\n");
+    let paper: Vec<(ModelId, [Option<f64>; 3])> = ModelId::all()
+        .iter()
+        .map(|&id| (id, id.paper_scores()))
+        .collect();
+    let rows = build_rows(&paper);
+    println!(
+        "{}",
+        astromlab::eval::report::render_figure1(&rows, 38.0, 80.0)
+    );
+
+    println!("=== CSV (measured) ===\n");
+    println!("{}", result.figure1_csv);
+}

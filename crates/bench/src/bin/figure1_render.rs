@@ -1,0 +1,59 @@
+//! Render Figure 1 from an existing Table I run's scores (E2 without
+//! retraining: the `figure1` binary re-runs the whole study; this one
+//! feeds already-measured scores through the same renderer).
+//!
+//! ```sh
+//! cargo run --release -p astro-bench --bin figure1_render -- \
+//!     s1 s2 s3 ... s24
+//! ```
+//! Scores are given row-major in Table I order (8 models × [full
+//! instruct, token instruct, token base]); use `-` for absent cells.
+//! With no arguments, renders the paper's published scores.
+
+use astromlab::study::build_rows;
+use astromlab::ModelId;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scores: Vec<(ModelId, [Option<f64>; 3])> = if args.is_empty() {
+        eprintln!("(no scores given — rendering the paper's published scores)");
+        ModelId::all().iter().map(|&id| (id, id.paper_scores())).collect()
+    } else {
+        assert_eq!(
+            args.len(),
+            24,
+            "need 24 score cells (8 models x 3 methods), got {}",
+            args.len()
+        );
+        ModelId::all()
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| {
+                let mut cells = [None; 3];
+                for (j, cell) in cells.iter_mut().enumerate() {
+                    let raw = &args[i * 3 + j];
+                    if raw != "-" {
+                        *cell = Some(raw.parse::<f64>().unwrap_or_else(|e| {
+                            panic!("bad score {raw:?} for {}: {e}", id.name())
+                        }));
+                    }
+                }
+                (id, cells)
+            })
+            .collect()
+    };
+    let rows = build_rows(&scores);
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (_, cells) in &scores {
+        for s in cells.iter().flatten() {
+            lo = lo.min(*s);
+            hi = hi.max(*s);
+        }
+    }
+    let pad = ((hi - lo) * 0.1).max(2.0);
+    println!(
+        "{}",
+        astromlab::eval::report::render_figure1(&rows, (lo - pad).max(0.0), (hi + pad).min(100.0))
+    );
+    println!("{}", astromlab::eval::report::figure1_csv(&rows));
+}

@@ -1,0 +1,71 @@
+//! Regenerate **Table I**: the eight LLaMA/AstroLLaMA models under the
+//! three benchmarking methods, with ↑/↓/⇒ arrows against each series'
+//! native baseline.
+//!
+//! ```sh
+//! cargo run --release -p astro-bench --bin table1 -- [smoke|fast|full] [seed]
+//! ```
+//! Default preset: `fast` (minutes on one core). The run is fully
+//! deterministic in the seed. Alongside the measured table, the paper's
+//! published numbers are printed for shape comparison; see EXPERIMENTS.md
+//! for the recorded analysis.
+
+use astro_bench::preset_from_args;
+use astromlab::eval::value::{summarize_gain, FLAGSHIP_SCORES};
+use astromlab::eval::Method;
+use astromlab::study::build_rows;
+use astromlab::{ModelId, Study};
+
+fn main() {
+    let config = preset_from_args("table1");
+    let start = std::time::Instant::now();
+    eprintln!("preparing study (seed {}) ...", config.seed);
+    let study = Study::prepare(config);
+    eprintln!(
+        "world: {} articles / {} facts | benchmark: {} MCQs | eval subset: {}",
+        study.world.articles.len(),
+        study.world.facts.len(),
+        study.mcq.len(),
+        study.config.n_eval_questions
+    );
+    eprintln!("training 3 natives + 5 CPT variants + 7 instruct models ...");
+    let result = study.run_table1();
+
+    println!("\n=== Table I (measured, this reproduction) ===\n");
+    println!("{}", result.table1);
+
+    println!("=== Table I (paper, for shape comparison) ===\n");
+    let paper_scores: Vec<(ModelId, [Option<f64>; 3])> = ModelId::all()
+        .iter()
+        .map(|&id| (id, id.paper_scores()))
+        .collect();
+    println!(
+        "{}",
+        astromlab::eval::report::render_table1(&build_rows(&paper_scores))
+    );
+
+    // §VI analysis: the 70B gain in cost-efficiency terms.
+    if let (Some(cpt), Some(native)) = (
+        result.score(ModelId::AstroLlama2_70bAic, Method::TokenBase),
+        result.score(ModelId::Llama2_70b, Method::TokenBase),
+    ) {
+        let v = summarize_gain(cpt, native);
+        println!(
+            "70B-class CPT gain (token base): {:+.1} points → implied value ratio {:.2}x \
+             (paper: +{:.1} points → ~4x)",
+            v.delta_points, v.value_multiplier, v.paper_gain
+        );
+    }
+    println!("\nflagship context (paper §VI): ");
+    for (name, score) in FLAGSHIP_SCORES {
+        println!("  {name:<22} {score:.1}%");
+    }
+
+    println!("\nfull-instruct parse trouble (interpreter+failed fraction):");
+    for (id, rate) in &result.parse_trouble {
+        if id.has_instruct() {
+            println!("  {:<34} {:.0}%", id.name(), rate * 100.0);
+        }
+    }
+    eprintln!("\ntotal wall time: {:.1}s", start.elapsed().as_secs_f64());
+}

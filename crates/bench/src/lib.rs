@@ -1,0 +1,36 @@
+//! Shared helpers for the experiment-regeneration binaries.
+
+use astromlab::StudyConfig;
+
+/// Parse `[smoke|fast|full] [seed]` from the command line; defaults to
+/// `fast 42`. Prints the choice to stderr so logs are self-describing.
+pub fn preset_from_args(binary: &str) -> StudyConfig {
+    let args: Vec<String> = std::env::args().collect();
+    let preset = args.get(1).map(|s| s.as_str()).unwrap_or("fast");
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
+    let config = match preset {
+        "smoke" => StudyConfig::smoke(seed),
+        "fast" => StudyConfig::fast(seed),
+        "full" => StudyConfig::full(seed),
+        other => {
+            eprintln!("{binary}: unknown preset {other:?}; use smoke|fast|full");
+            std::process::exit(2);
+        }
+    };
+    eprintln!("{binary}: preset={preset} seed={seed}");
+    config
+}
+
+#[cfg(test)]
+mod tests {
+    // preset_from_args reads process args; its parsing branches are
+    // exercised indirectly by the binaries. Assert the defaults here.
+    use astromlab::StudyConfig;
+
+    #[test]
+    fn default_presets_construct() {
+        let _ = StudyConfig::smoke(42);
+        let _ = StudyConfig::fast(42);
+        let _ = StudyConfig::full(42);
+    }
+}

@@ -1,0 +1,308 @@
+//! Design-choice ablations (DESIGN.md experiments A1–A4).
+//!
+//! Each ablation reuses a prepared [`Study`] so the world, tokenizer and
+//! benchmark stay fixed while one factor varies.
+
+use crate::study::Study;
+use crate::zoo::ModelId;
+use astro_eval::{evaluate, EvalModel, InstructEvalConfig, Method, TokenEvalConfig};
+use astro_model::Tier;
+use astro_prng::Rng;
+use astro_train::{pack_documents, render_conversations, train_lm, BatchSource};
+use astro_world::{
+    clean_ocr, noisify, render_article, sft_dataset, CorpusRecipe, Document, DocumentKind,
+    NoiseConfig, SftMixtureConfig,
+};
+
+/// One ablation measurement.
+#[derive(Clone, Debug)]
+pub struct AblationPoint {
+    /// Human-readable setting label.
+    pub label: String,
+    /// Token-base score (%) unless noted otherwise by the ablation.
+    pub score: f64,
+    /// Secondary score (%), meaning depends on the ablation (e.g. full
+    /// instruct); NaN when unused.
+    pub secondary: f64,
+}
+
+/// A1 — CPT data quality: the same AIC content passed through different
+/// noise channels (clean, LaTeX artefacts, heavy OCR, heavy OCR + Nougat
+/// cleaning), each used to CPT the 8B-class native. Probes the paper's
+/// claim that "high-quality, information-dense tokens used in CPT" are
+/// critical.
+pub fn ablation_data_quality(study: &Study) -> Vec<AblationPoint> {
+    let (native, _) = study.pretrain_native(Tier::S8b);
+    let channels: [(&str, Box<dyn Fn(&str, &mut Rng) -> String>); 4] = [
+        ("clean", Box::new(|s: &str, _: &mut Rng| s.to_string())),
+        (
+            "latex-artifacts",
+            Box::new(|s: &str, rng: &mut Rng| noisify(s, &NoiseConfig::latex_artifacts(), rng)),
+        ),
+        (
+            "heavy-ocr",
+            Box::new(|s: &str, rng: &mut Rng| noisify(s, &NoiseConfig::heavy_ocr(), rng)),
+        ),
+        (
+            "heavy-ocr+nougat",
+            Box::new(|s: &str, rng: &mut Rng| {
+                clean_ocr(&noisify(s, &NoiseConfig::heavy_ocr(), rng))
+            }),
+        ),
+    ];
+    let mut out = Vec::new();
+    for (label, channel) in channels {
+        let mut rng = Rng::seed_from(study.config.seed).substream(&format!("abl-dq-{label}"));
+        let docs: Vec<Document> = study
+            .world
+            .articles
+            .iter()
+            .map(|a| {
+                let clean = render_article(&study.world, a, CorpusRecipe::Aic, &mut rng);
+                Document {
+                    kind: DocumentKind::Aic,
+                    article: Some(a.id),
+                    text: channel(&clean, &mut rng),
+                }
+            })
+            .collect();
+        let stream = pack_documents(&study.tokenizer, &docs);
+        let mut params = native.clone();
+        let tc = astro_train::TrainerConfig {
+            lr: study.config.cpt_lr,
+            batch: study.config.batch,
+            seq: study.config.seq,
+            steps: study.config.cpt_steps,
+            ..Default::default()
+        };
+        train_lm(&mut params, BatchSource::Lm(&stream), &tc, &rng);
+        let score = study.eval(&params, Method::TokenBase).percent();
+        out.push(AblationPoint {
+            label: label.to_string(),
+            score,
+            secondary: f64::NAN,
+        });
+    }
+    out
+}
+
+/// A2 — SFT mixture: astronomy fraction and dataset size. SFTs the
+/// 8B-class AIC model with different mixtures and reports full-instruct
+/// (primary) and token-instruct (secondary) scores — probing the paper's
+/// conclusion that the small, non-astronomy mixture is what breaks the
+/// instruct models.
+pub fn ablation_sft_mixture(study: &Study) -> Vec<AblationPoint> {
+    let (native, _) = study.pretrain_native(Tier::S8b);
+    let (base, _) = study.cpt(&native, CorpusRecipe::Aic);
+    let total = SftMixtureConfig::paper_mixture(study.config.sft_scale).total();
+    let settings: [(&str, f64, usize); 4] = [
+        ("astro 0% (general only)", 0.0, total),
+        ("astro 33% (paper mixture)", 1.0 / 3.0, total),
+        ("astro 100%", 1.0, total),
+        ("astro 33%, 10x smaller", 1.0 / 3.0, (total / 10).max(4)),
+    ];
+    let mut out = Vec::new();
+    for (label, astro_frac, size) in settings {
+        let n_astro = ((size as f64) * astro_frac).round() as usize;
+        let n_general = size - n_astro;
+        let mixture = SftMixtureConfig {
+            n_astro: n_astro.max(if astro_frac > 0.0 { 1 } else { 0 }),
+            n_lima: (n_general / 21).max(1),
+            n_orca: (n_general * 10 / 21).max(1),
+            n_ultrachat: (n_general * 10 / 21).max(1),
+            astro_json_fraction: study.config.sft_json_fraction,
+        };
+        let mut rng = Rng::seed_from(study.config.seed).substream(&format!("abl-sft-{label}"));
+        let convs = sft_dataset(&study.world, &mixture, &mut rng);
+        let examples = render_conversations(&study.tokenizer, &convs);
+        let mut params = base.clone();
+        let tc = astro_train::TrainerConfig {
+            lr: study.config.sft_lr,
+            batch: study.config.batch,
+            seq: study.config.seq,
+            steps: study.config.sft_steps,
+            ..Default::default()
+        };
+        train_lm(
+            &mut params,
+            BatchSource::Sft(&examples, study.tokenizer.pad()),
+            &tc,
+            &rng,
+        );
+        let full = study.eval(&params, Method::FullInstruct).percent();
+        let token = study.eval(&params, Method::TokenInstruct).percent();
+        out.push(AblationPoint {
+            label: label.to_string(),
+            score: full,
+            secondary: token,
+        });
+    }
+    out
+}
+
+/// A3 — capacity sweep: native vs CPT-AIC token-base scores per tier, the
+/// paper's central forgetting-vs-gain contrast. `score` is the native
+/// model, `secondary` the CPT'd model.
+pub fn ablation_scale(study: &Study) -> Vec<AblationPoint> {
+    let mut out = Vec::new();
+    for tier in [Tier::S7b, Tier::S8b, Tier::S70b] {
+        let (native, _) = study.pretrain_native(tier);
+        let (cpt, _) = study.cpt(&native, CorpusRecipe::Aic);
+        let native_score = study.eval(&native, Method::TokenBase).percent();
+        let cpt_score = study.eval(&cpt, Method::TokenBase).percent();
+        out.push(AblationPoint {
+            label: tier.label().to_string(),
+            score: native_score,
+            secondary: cpt_score,
+        });
+    }
+    out
+}
+
+/// A4 — evaluation-method options on one fixed model (the 8B-class
+/// native): two-shot vs zero-shot prompting, token-variant detection
+/// on/off (paper Appendix C's design choices), and the value-vs-letter
+/// answer readout (our documented substitution vs the paper's literal
+/// letter method).
+pub fn ablation_eval_method(study: &Study) -> Vec<AblationPoint> {
+    use astro_eval::AnswerReadout;
+    let (native, _) = study.pretrain_native(Tier::S8b);
+    let model = EvalModel {
+        params: &native,
+        tokenizer: &study.tokenizer,
+    };
+    let questions = study.eval_questions();
+    let settings: [(&str, TokenEvalConfig); 5] = [
+        (
+            "two-shot + variant detection",
+            TokenEvalConfig {
+                shots: 2,
+                detect_variants: true,
+                readout: AnswerReadout::OptionValue,
+            },
+        ),
+        (
+            "two-shot, no variant detection",
+            TokenEvalConfig {
+                shots: 2,
+                detect_variants: false,
+                readout: AnswerReadout::OptionValue,
+            },
+        ),
+        (
+            "zero-shot + variant detection",
+            TokenEvalConfig {
+                shots: 0,
+                detect_variants: true,
+                readout: AnswerReadout::OptionValue,
+            },
+        ),
+        (
+            "zero-shot, no variant detection",
+            TokenEvalConfig {
+                shots: 0,
+                detect_variants: false,
+                readout: AnswerReadout::OptionValue,
+            },
+        ),
+        (
+            "two-shot, letter readout (paper-literal)",
+            TokenEvalConfig {
+                shots: 2,
+                detect_variants: true,
+                readout: AnswerReadout::Letter,
+            },
+        ),
+    ];
+    let mut rng = Rng::seed_from(study.config.seed).substream("abl-eval");
+    settings
+        .into_iter()
+        .map(|(label, cfg)| {
+            let score = evaluate(
+                &model,
+                &questions,
+                &study.mcq.exemplars,
+                Method::TokenBase,
+                &cfg,
+                &InstructEvalConfig::default(),
+                &mut rng,
+            );
+            AblationPoint {
+                label: label.to_string(),
+                score: score.percent(),
+                secondary: f64::NAN,
+            }
+        })
+        .collect()
+}
+
+/// Render ablation points as a small text table.
+pub fn render_ablation(title: &str, points: &[AblationPoint], secondary_label: Option<&str>) -> String {
+    let mut out = format!("{title}\n");
+    out.push_str(&"-".repeat(title.len()));
+    out.push('\n');
+    for p in points {
+        if p.secondary.is_nan() {
+            out.push_str(&format!("  {:<34} {:>6.1}%\n", p.label, p.score));
+        } else {
+            out.push_str(&format!(
+                "  {:<34} {:>6.1}%   {} {:>6.1}%\n",
+                p.label,
+                p.score,
+                secondary_label.unwrap_or("secondary"),
+                p.secondary
+            ));
+        }
+    }
+    out
+}
+
+/// Convenience: which model id the ablations centre on (documentation).
+pub fn ablation_reference_model() -> ModelId {
+    ModelId::AstroLlama3_8bAic
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::StudyConfig;
+
+    #[test]
+    fn render_ablation_formats_both_kinds() {
+        let pts = vec![
+            AblationPoint {
+                label: "a".to_string(),
+                score: 50.0,
+                secondary: f64::NAN,
+            },
+            AblationPoint {
+                label: "b".to_string(),
+                score: 60.0,
+                secondary: 55.0,
+            },
+        ];
+        let s = render_ablation("Test", &pts, Some("token"));
+        assert!(s.contains("50.0%"));
+        assert!(s.contains("token"));
+        assert!(s.contains("55.0%"));
+    }
+
+    #[test]
+    fn eval_method_ablation_runs_on_smoke_study() {
+        let study = Study::prepare(StudyConfig::smoke(23));
+        let pts = ablation_eval_method(&study);
+        assert_eq!(pts.len(), 5);
+        for p in &pts {
+            assert!((0.0..=100.0).contains(&p.score), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn scale_ablation_covers_three_tiers() {
+        let study = Study::prepare(StudyConfig::smoke(29));
+        let pts = ablation_scale(&study);
+        assert_eq!(pts.len(), 3);
+        assert!(pts[0].label.contains("7B"));
+        assert!(pts[2].label.contains("70B"));
+    }
+}

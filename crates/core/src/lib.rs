@@ -1,0 +1,46 @@
+//! # AstroMLab 2 reproduction — top-level API
+//!
+//! This crate ties the substrates together into the paper's full pipeline:
+//!
+//! 1. generate the synthetic astronomy world and its MCQ benchmark;
+//! 2. train a BPE tokenizer and pretrain three *native* models (the
+//!    LLaMA-2-7B / LLaMA-3-8B / LLaMA-2-70B stand-ins) on the general
+//!    corpus;
+//! 3. continually pretrain (CPT) the AstroLLaMA variants on the
+//!    Abstract / AIC / Summary recipes;
+//! 4. supervised fine-tune (SFT) instruct versions on the paper's
+//!    conversation mixture;
+//! 5. evaluate every model under the three benchmarking methods and
+//!    render Table I / Figure 1.
+//!
+//! ```no_run
+//! use astromlab::{Study, StudyConfig};
+//!
+//! let study = Study::prepare(StudyConfig::fast(42));
+//! let result = study.run_table1();
+//! println!("{}", result.table1);
+//! ```
+//!
+//! The [`ablations`] module adds the design-choice experiments indexed in
+//! DESIGN.md (data quality, SFT mixture, capacity sweep, eval-method
+//! options).
+
+pub mod ablations;
+pub mod presets;
+pub mod study;
+pub mod zoo;
+
+pub use presets::StudyConfig;
+pub use study::{ModelArtifacts, Study, StudyResult};
+pub use zoo::ModelId;
+
+// Re-export the substrate crates so downstream users need one dependency.
+pub use astro_eval as eval;
+pub use astro_mcq as mcq;
+pub use astro_model as model;
+pub use astro_parallel as parallel;
+pub use astro_prng as prng;
+pub use astro_tensor as tensor;
+pub use astro_tokenizer as tokenizer;
+pub use astro_train as train;
+pub use astro_world as world;

@@ -1,0 +1,527 @@
+//! The end-to-end study pipeline (paper §III–§VI).
+
+use crate::presets::StudyConfig;
+use crate::zoo::ModelId;
+use astro_eval::report::{render_figure1, render_table1, ModelRow};
+use astro_eval::{
+    evaluate, EvalModel, InstructEvalConfig, Method, Score, TokenEvalConfig,
+};
+use astro_mcq::{Mcq, McqConfig, McqDataset};
+use astro_model::{ModelConfig, Params, Tier};
+use astro_prng::Rng;
+use astro_tokenizer::{train_bpe, BpeTrainerConfig, Tokenizer};
+use astro_train::{
+    pack_documents, render_conversations, train_lm, BatchSource, SftExample, TokenStream,
+    TrainReport, TrainerConfig,
+};
+use astro_world::{cpt_corpus, general_corpus, sft_dataset, CorpusRecipe, SftMixtureConfig, World};
+use std::collections::HashMap;
+
+/// Tier index into per-tier arrays.
+fn tier_idx(tier: Tier) -> usize {
+    match tier {
+        Tier::S7b => 0,
+        Tier::S8b => 1,
+        Tier::S70b => 2,
+    }
+}
+
+/// A prepared study: world, tokenizer, benchmark and packed corpora.
+pub struct Study {
+    /// The configuration the study was prepared with.
+    pub config: StudyConfig,
+    /// The synthetic world.
+    pub world: World,
+    /// The shared tokenizer.
+    pub tokenizer: Tokenizer,
+    /// The MCQ benchmark.
+    pub mcq: McqDataset,
+    /// Packed general corpus (native pretraining).
+    pub general_stream: TokenStream,
+    /// Packed CPT corpora per recipe.
+    pub cpt_streams: Vec<(CorpusRecipe, TokenStream)>,
+    /// Rendered SFT examples.
+    pub sft_examples: Vec<SftExample>,
+    root: Rng,
+}
+
+/// Base and instruct weights for one model of the zoo.
+pub struct ModelArtifacts {
+    /// Post-pretraining (or post-CPT) weights.
+    pub base: Params,
+    /// Post-SFT weights (absent for AstroLLaMA-2-7B-Abstract).
+    pub instruct: Option<Params>,
+    /// CPT training report, for CPT models.
+    pub cpt_report: Option<TrainReport>,
+    /// SFT training report.
+    pub sft_report: Option<TrainReport>,
+}
+
+/// The study's measured outputs.
+pub struct StudyResult {
+    /// Scores per model: `[full instruct, token instruct, token base]`, %.
+    pub scores: Vec<(ModelId, [Option<f64>; 3])>,
+    /// Full-instruct parse-trouble rate per model (interpreter + failed).
+    pub parse_trouble: Vec<(ModelId, f64)>,
+    /// Rendered Table I.
+    pub table1: String,
+    /// Rendered ASCII Figure 1.
+    pub figure1: String,
+    /// Figure 1 data as CSV.
+    pub figure1_csv: String,
+}
+
+impl StudyResult {
+    /// Measured score of one model under one method.
+    pub fn score(&self, id: ModelId, method: Method) -> Option<f64> {
+        let col = match method {
+            Method::FullInstruct => 0,
+            Method::TokenInstruct => 1,
+            Method::TokenBase => 2,
+        };
+        self.scores
+            .iter()
+            .find(|(m, _)| *m == id)
+            .and_then(|(_, s)| s[col])
+    }
+}
+
+impl Study {
+    /// Generate the world, train the tokenizer, build the benchmark and
+    /// pack every corpus.
+    pub fn prepare(config: StudyConfig) -> Study {
+        let root = Rng::seed_from(config.seed);
+        let world = World::generate(config.seed, config.world.clone());
+
+        // Corpora.
+        let mut corpus_rng = root.substream("general-corpus");
+        let general_docs = general_corpus(&world, config.general_docs, &mut corpus_rng);
+        let mut cpt_rng = root.substream("cpt-corpus");
+        let cpt_docs: Vec<(CorpusRecipe, Vec<astro_world::Document>)> =
+            [CorpusRecipe::Abstract, CorpusRecipe::Aic, CorpusRecipe::Summary]
+                .into_iter()
+                .map(|r| (r, cpt_corpus(&world, r, &mut cpt_rng)))
+                .collect();
+
+        // Tokenizer: train on a blend of general + astro text so both
+        // domains tokenise compactly (as LLaMA's web-trained BPE does).
+        let mut tok_corpus: Vec<String> = general_docs
+            .iter()
+            .take(400)
+            .map(|d| d.text.clone())
+            .collect();
+        for (_, docs) in &cpt_docs {
+            tok_corpus.extend(docs.iter().take(120).map(|d| d.text.clone()));
+        }
+        // Guarantee the answer-letter variants exist as single tokens (as
+        // they do in real LLM tokenizers) — the next-token method reads
+        // their logits directly — and make every attribute value's head
+        // word a single token, mirroring how common words are whole
+        // tokens in web-scale BPE vocabularies.
+        let mut ensure: Vec<String> = [" A", " B", " C", " D"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        for rel in astro_world::RELATIONS {
+            for v in rel.values() {
+                let head = v.split(' ').next().expect("non-empty value");
+                ensure.push(format!(" {head}"));
+            }
+        }
+        for rel in astro_world::GENERAL_RELATIONS {
+            for v in rel.values() {
+                ensure.push(format!(" {v}"));
+            }
+        }
+        ensure.sort();
+        ensure.dedup();
+        let tokenizer = train_bpe(
+            &tok_corpus,
+            &BpeTrainerConfig {
+                vocab_size: config.vocab_size,
+                min_pair_count: 2,
+                ensure_pieces: ensure,
+            },
+        );
+
+        // Benchmark.
+        let mut mcq_rng = root.substream("mcq-gen");
+        let mcq = McqDataset::generate(&world, &McqConfig::default(), &mut mcq_rng);
+
+        // Packing.
+        let general_stream = pack_documents(&tokenizer, &general_docs);
+        let cpt_streams = cpt_docs
+            .iter()
+            .map(|(r, docs)| (*r, pack_documents(&tokenizer, docs)))
+            .collect();
+
+        // SFT set.
+        let mut sft_rng = root.substream("sft-data");
+        let mut mixture = SftMixtureConfig::paper_mixture(config.sft_scale);
+        mixture.astro_json_fraction = config.sft_json_fraction;
+        let convs = sft_dataset(&world, &mixture, &mut sft_rng);
+        let sft_examples = render_conversations(&tokenizer, &convs);
+
+        Study {
+            config,
+            world,
+            tokenizer,
+            mcq,
+            general_stream,
+            cpt_streams,
+            sft_examples,
+            root,
+        }
+    }
+
+    /// The packed CPT stream for a recipe.
+    pub fn cpt_stream(&self, recipe: CorpusRecipe) -> &TokenStream {
+        &self
+            .cpt_streams
+            .iter()
+            .find(|(r, _)| *r == recipe)
+            .expect("all recipes prepared")
+            .1
+    }
+
+    /// Model configuration for a tier under this study's tokenizer.
+    pub fn model_config(&self, tier: Tier) -> ModelConfig {
+        ModelConfig::tier(tier, self.tokenizer.vocab_size())
+    }
+
+    fn trainer_config(&self, steps: u64, lr: f32) -> TrainerConfig {
+        TrainerConfig {
+            lr,
+            batch: self.config.batch,
+            seq: self.config.seq,
+            steps,
+            warmup_ratio: 0.03,
+            grad_clip: 1.0,
+            grad_accum: 1,
+            devices: self.config.devices,
+            bf16_weights: true,
+            weight_decay: 0.01,
+            log_every: 20,
+        }
+    }
+
+    /// Pretrain one native model on the general corpus.
+    pub fn pretrain_native(&self, tier: Tier) -> (Params, TrainReport) {
+        let cfg = self.model_config(tier);
+        let mut rng = self.root.substream_idx("native-init", tier_idx(tier) as u64);
+        let mut params = Params::init(cfg, &mut rng);
+        let tc = self.trainer_config(self.config.native_steps[tier_idx(tier)], self.config.native_lr);
+        let report = train_lm(
+            &mut params,
+            BatchSource::Lm(&self.general_stream),
+            &tc,
+            &self.root.substream_idx("native-train", tier_idx(tier) as u64),
+        );
+        (params, report)
+    }
+
+    /// Continually pretrain a base model on a recipe corpus (paper §III).
+    pub fn cpt(&self, base: &Params, recipe: CorpusRecipe) -> (Params, TrainReport) {
+        let mut params = base.clone();
+        let tc = self.trainer_config(self.config.cpt_steps, self.config.cpt_lr);
+        let report = train_lm(
+            &mut params,
+            BatchSource::Lm(self.cpt_stream(recipe)),
+            &tc,
+            &self.root.substream(&format!("cpt-{}", recipe.label())),
+        );
+        (params, report)
+    }
+
+    /// SFT a base model into an instruct model.
+    pub fn sft(&self, base: &Params, label: &str) -> (Params, TrainReport) {
+        let mut params = base.clone();
+        let tc = self.trainer_config(self.config.sft_steps, self.config.sft_lr);
+        let report = train_lm(
+            &mut params,
+            BatchSource::Sft(&self.sft_examples, self.tokenizer.pad()),
+            &tc,
+            &self.root.substream(&format!("sft-{label}")),
+        );
+        (params, report)
+    }
+
+    /// The deterministic evaluation subset.
+    pub fn eval_questions(&self) -> Vec<&Mcq> {
+        let mut rng = self.root.substream("eval-subset");
+        self.mcq.subset(self.config.n_eval_questions, &mut rng)
+    }
+
+    /// Evaluate the token-base method and return the per-tier accuracy
+    /// breakdown alongside the aggregate — the decomposition showing
+    /// *where* a CPT gain or loss comes from (consensus = retention,
+    /// frontier/detail = acquisition).
+    pub fn eval_with_breakdown(&self, params: &Params) -> (Score, astro_eval::TierBreakdown) {
+        let model = EvalModel {
+            params,
+            tokenizer: &self.tokenizer,
+        };
+        let questions = self.eval_questions();
+        let preds = astro_eval::token_method(
+            &model,
+            &questions,
+            &self.mcq.exemplars,
+            &TokenEvalConfig::default(),
+        );
+        let correct = preds
+            .iter()
+            .zip(questions.iter())
+            .filter(|(&p, q)| p == q.answer)
+            .count();
+        let breakdown = astro_eval::TierBreakdown::from_predictions(&questions, &preds);
+        (
+            Score {
+                correct,
+                total: questions.len(),
+                stages: [0; 4],
+            },
+            breakdown,
+        )
+    }
+
+    /// Evaluate one parameter set under one method.
+    pub fn eval(&self, params: &Params, method: Method) -> Score {
+        let model = EvalModel {
+            params,
+            tokenizer: &self.tokenizer,
+        };
+        let questions = self.eval_questions();
+        let mut rng = self.root.substream("eval-run");
+        evaluate(
+            &model,
+            &questions,
+            &self.mcq.exemplars,
+            method,
+            &TokenEvalConfig::default(),
+            &InstructEvalConfig {
+                verbose_prompt: self.config.verbose_prompt,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+    }
+
+    /// Train every model of the zoo (natives shared across their series).
+    pub fn build_artifacts(&self) -> HashMap<ModelId, ModelArtifacts> {
+        let mut out = HashMap::new();
+        // Natives per tier.
+        let mut natives: HashMap<usize, Params> = HashMap::new();
+        for tier in [Tier::S7b, Tier::S8b, Tier::S70b] {
+            let (p, _) = self.pretrain_native(tier);
+            natives.insert(tier_idx(tier), p);
+        }
+        for id in ModelId::all() {
+            let native = &natives[&tier_idx(id.tier())];
+            let (base, cpt_report) = match id.recipe() {
+                None => (native.clone(), None),
+                Some(recipe) => {
+                    let (p, r) = self.cpt(native, recipe);
+                    (p, Some(r))
+                }
+            };
+            let (instruct, sft_report) = if id.has_instruct() {
+                let (p, r) = self.sft(&base, id.name());
+                (Some(p), Some(r))
+            } else {
+                (None, None)
+            };
+            out.insert(
+                id,
+                ModelArtifacts {
+                    base,
+                    instruct,
+                    cpt_report,
+                    sft_report,
+                },
+            );
+        }
+        out
+    }
+
+    /// Score prepared artifacts under the three methods.
+    pub fn evaluate_artifacts(
+        &self,
+        artifacts: &HashMap<ModelId, ModelArtifacts>,
+    ) -> StudyResult {
+        let mut scores = Vec::new();
+        let mut parse_trouble = Vec::new();
+        for id in ModelId::all() {
+            let art = &artifacts[&id];
+            let token_base = self.eval(&art.base, Method::TokenBase).percent();
+            let (full, token_instr, trouble) = match &art.instruct {
+                Some(p) => {
+                    let fi = self.eval(p, Method::FullInstruct);
+                    let ti = self.eval(p, Method::TokenInstruct).percent();
+                    (Some(fi.percent()), Some(ti), fi.parse_trouble_rate())
+                }
+                None => (None, None, 0.0),
+            };
+            scores.push((id, [full, token_instr, Some(token_base)]));
+            parse_trouble.push((id, trouble));
+        }
+        let rows = build_rows(&scores);
+        let (lo, hi) = score_range(&rows);
+        StudyResult {
+            table1: render_table1(&rows),
+            figure1: render_figure1(&rows, lo, hi),
+            figure1_csv: astro_eval::report::figure1_csv(&rows),
+            scores,
+            parse_trouble,
+        }
+    }
+
+    /// The whole pipeline: train everything, evaluate everything.
+    pub fn run_table1(&self) -> StudyResult {
+        let artifacts = self.build_artifacts();
+        self.evaluate_artifacts(&artifacts)
+    }
+}
+
+/// Convert raw scores into Table-I rows with baseline indices.
+pub fn build_rows(scores: &[(ModelId, [Option<f64>; 3])]) -> Vec<ModelRow> {
+    let index_of = |id: ModelId| {
+        ModelId::all()
+            .iter()
+            .position(|&m| m == id)
+            .expect("all ids present")
+    };
+    scores
+        .iter()
+        .map(|(id, s)| ModelRow {
+            name: id.name().to_string(),
+            series: id.series().to_string(),
+            scores: *s,
+            baseline: (id.baseline() != *id).then(|| index_of(id.baseline())),
+            source: id.source().to_string(),
+        })
+        .collect()
+}
+
+/// A padded (lo, hi) range covering every present score.
+fn score_range(rows: &[ModelRow]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for r in rows {
+        for s in r.scores.iter().flatten() {
+            lo = lo.min(*s);
+            hi = hi.max(*s);
+        }
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return (0.0, 100.0);
+    }
+    let pad = ((hi - lo) * 0.1).max(2.0);
+    ((lo - pad).max(0.0), (hi + pad).min(100.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_study() -> Study {
+        Study::prepare(StudyConfig::smoke(11))
+    }
+
+    #[test]
+    fn prepare_builds_all_streams() {
+        let s = smoke_study();
+        assert!(!s.general_stream.is_empty());
+        for recipe in [CorpusRecipe::Abstract, CorpusRecipe::Aic, CorpusRecipe::Summary] {
+            assert!(s.cpt_stream(recipe).len() > s.config.seq, "{recipe:?} stream too small");
+        }
+        assert!(!s.sft_examples.is_empty());
+        assert_eq!(s.mcq.questions.len() + s.mcq.exemplars.len(), 40 * 5);
+    }
+
+    #[test]
+    fn aic_stream_larger_than_abstract() {
+        let s = smoke_study();
+        assert!(s.cpt_stream(CorpusRecipe::Aic).len() > s.cpt_stream(CorpusRecipe::Abstract).len());
+    }
+
+    #[test]
+    fn eval_questions_deterministic_and_sized() {
+        let s = smoke_study();
+        let a = s.eval_questions();
+        let b = s.eval_questions();
+        assert_eq!(a.len(), s.config.n_eval_questions.min(s.mcq.len()));
+        assert_eq!(
+            a.iter().map(|q| q.id).collect::<Vec<_>>(),
+            b.iter().map(|q| q.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn pretrain_reduces_loss() {
+        let s = smoke_study();
+        let (_, report) = s.pretrain_native(Tier::S7b);
+        assert!(report.tail_loss(2) < report.losses[0].1, "{:?}", report.losses);
+    }
+
+    #[test]
+    fn cpt_starts_from_base_and_changes_weights() {
+        let s = smoke_study();
+        let (native, _) = s.pretrain_native(Tier::S7b);
+        let (cpt, report) = s.cpt(&native, CorpusRecipe::Aic);
+        assert_eq!(cpt.data.len(), native.data.len());
+        assert_ne!(cpt.data, native.data);
+        assert!(report.steps == s.config.cpt_steps);
+    }
+
+    #[test]
+    fn sft_changes_weights_less_than_cpt() {
+        // SFT's tiny LR must move weights much less than CPT does.
+        let s = smoke_study();
+        let (native, _) = s.pretrain_native(Tier::S7b);
+        let (cpt, _) = s.cpt(&native, CorpusRecipe::Aic);
+        let (instr, _) = s.sft(&native, "t");
+        let dist = |a: &Params, b: &Params| -> f64 {
+            a.data
+                .iter()
+                .zip(b.data.iter())
+                .map(|(x, y)| ((x - y) as f64).powi(2))
+                .sum::<f64>()
+                .sqrt()
+        };
+        assert!(dist(&instr, &native) < dist(&cpt, &native));
+    }
+
+    #[test]
+    fn build_rows_assigns_baselines() {
+        let scores: Vec<(ModelId, [Option<f64>; 3])> = ModelId::all()
+            .iter()
+            .map(|&id| (id, id.paper_scores()))
+            .collect();
+        let rows = build_rows(&scores);
+        assert_eq!(rows.len(), 8);
+        assert_eq!(rows[0].baseline, None);
+        assert_eq!(rows[1].baseline, Some(0)); // 7B-AIC → LLaMA-2-7B
+        assert_eq!(rows[7].baseline, Some(6)); // 70B-AIC → LLaMA-2-70B
+    }
+
+    #[test]
+    fn table_and_figure_render_from_paper_scores() {
+        let scores: Vec<(ModelId, [Option<f64>; 3])> = ModelId::all()
+            .iter()
+            .map(|&id| (id, id.paper_scores()))
+            .collect();
+        let rows = build_rows(&scores);
+        let t = render_table1(&rows);
+        assert!(t.contains("76.0 ↑"), "{t}");
+        assert!(t.contains("41.4 ↓"), "{t}");
+        let (lo, hi) = score_range(&rows);
+        assert!(lo < 41.4 && hi > 76.0);
+        let f = render_figure1(&rows, lo, hi);
+        assert!(f.contains('*'));
+    }
+
+    #[test]
+    fn score_range_handles_empty() {
+        assert_eq!(score_range(&[]), (0.0, 100.0));
+    }
+}

@@ -1,0 +1,195 @@
+//! The model zoo: the eight models of Table I.
+
+use astro_model::Tier;
+use astro_world::CorpusRecipe;
+
+/// Every model evaluated in the paper's Table I.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ModelId {
+    /// Native LLaMA-2-7B stand-in.
+    Llama2_7b,
+    /// AstroLLaMA-2-7B-AIC (ref [28]).
+    AstroLlama2_7bAic,
+    /// AstroLLaMA-2-7B-Abstract (ref [27]; no instruct release → no
+    /// instruct-mode scores).
+    AstroLlama2_7bAbstract,
+    /// Native LLaMA-3-8B stand-in.
+    Llama3_8b,
+    /// AstroLLaMA-3-8B-AIC (this study).
+    AstroLlama3_8bAic,
+    /// AstroLLaMA-3-8B-Summary (this study).
+    AstroLlama3_8bSummary,
+    /// Native LLaMA-2-70B stand-in.
+    Llama2_70b,
+    /// AstroLLaMA-2-70B-AIC (this study's headline model).
+    AstroLlama2_70bAic,
+}
+
+impl ModelId {
+    /// All models in Table I row order.
+    pub fn all() -> [ModelId; 8] {
+        [
+            ModelId::Llama2_7b,
+            ModelId::AstroLlama2_7bAic,
+            ModelId::AstroLlama2_7bAbstract,
+            ModelId::Llama3_8b,
+            ModelId::AstroLlama3_8bAic,
+            ModelId::AstroLlama3_8bSummary,
+            ModelId::Llama2_70b,
+            ModelId::AstroLlama2_70bAic,
+        ]
+    }
+
+    /// Display name (with the `(sim)` marker making the substitution
+    /// explicit).
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelId::Llama2_7b => "LLaMA-2-7B (sim)",
+            ModelId::AstroLlama2_7bAic => "AstroLLaMA-2-7B-AIC (sim)",
+            ModelId::AstroLlama2_7bAbstract => "AstroLLaMA-2-7B-Abstract (sim)",
+            ModelId::Llama3_8b => "LLaMA-3-8B (sim)",
+            ModelId::AstroLlama3_8bAic => "AstroLLaMA-3-8B-AIC (sim)",
+            ModelId::AstroLlama3_8bSummary => "AstroLLaMA-3-8B-Summary (sim)",
+            ModelId::Llama2_70b => "LLaMA-2-70B (sim)",
+            ModelId::AstroLlama2_70bAic => "AstroLLaMA-2-70B-AIC (sim)",
+        }
+    }
+
+    /// Table I series header.
+    pub fn series(self) -> &'static str {
+        match self {
+            ModelId::Llama2_7b => "LLaMA-2 Series (7B Parameters)",
+            ModelId::AstroLlama2_7bAic | ModelId::AstroLlama2_7bAbstract => {
+                "AstroLLaMA-2 Series (7B Parameters)"
+            }
+            ModelId::Llama3_8b => "LLaMA-3 Series (8B Parameters)",
+            ModelId::AstroLlama3_8bAic | ModelId::AstroLlama3_8bSummary => {
+                "AstroLLaMA-3 Series (8B Parameters)"
+            }
+            ModelId::Llama2_70b => "LLaMA-2 Series (70B Parameters)",
+            ModelId::AstroLlama2_70bAic => "AstroLLaMA-2 Series (70B Parameters)",
+        }
+    }
+
+    /// Source column of Table I.
+    pub fn source(self) -> &'static str {
+        match self {
+            ModelId::Llama2_7b | ModelId::Llama3_8b | ModelId::Llama2_70b => "Meta",
+            ModelId::AstroLlama2_7bAic | ModelId::AstroLlama2_7bAbstract => "uTBD",
+            _ => "AstroMLab",
+        }
+    }
+
+    /// Capacity tier.
+    pub fn tier(self) -> Tier {
+        match self {
+            ModelId::Llama2_7b | ModelId::AstroLlama2_7bAic | ModelId::AstroLlama2_7bAbstract => {
+                Tier::S7b
+            }
+            ModelId::Llama3_8b | ModelId::AstroLlama3_8bAic | ModelId::AstroLlama3_8bSummary => {
+                Tier::S8b
+            }
+            ModelId::Llama2_70b | ModelId::AstroLlama2_70bAic => Tier::S70b,
+        }
+    }
+
+    /// CPT recipe (`None` for the natives).
+    pub fn recipe(self) -> Option<CorpusRecipe> {
+        match self {
+            ModelId::AstroLlama2_7bAic
+            | ModelId::AstroLlama3_8bAic
+            | ModelId::AstroLlama2_70bAic => Some(CorpusRecipe::Aic),
+            ModelId::AstroLlama2_7bAbstract => Some(CorpusRecipe::Abstract),
+            ModelId::AstroLlama3_8bSummary => Some(CorpusRecipe::Summary),
+            _ => None,
+        }
+    }
+
+    /// The native baseline of this model's series.
+    pub fn baseline(self) -> ModelId {
+        match self.tier() {
+            Tier::S7b => ModelId::Llama2_7b,
+            Tier::S8b => ModelId::Llama3_8b,
+            Tier::S70b => ModelId::Llama2_70b,
+        }
+    }
+
+    /// Whether the paper reports instruct-mode scores for this model
+    /// (false only for AstroLLaMA-2-7B-Abstract).
+    pub fn has_instruct(self) -> bool {
+        self != ModelId::AstroLlama2_7bAbstract
+    }
+
+    /// The paper's measured scores `[full instruct, token instruct, token
+    /// base]` (percent), for shape comparison in EXPERIMENTS.md.
+    pub fn paper_scores(self) -> [Option<f64>; 3] {
+        match self {
+            ModelId::Llama2_7b => [Some(50.3), Some(62.6), Some(51.3)],
+            ModelId::AstroLlama2_7bAic => [Some(41.4), Some(47.2), Some(44.3)],
+            ModelId::AstroLlama2_7bAbstract => [None, None, Some(43.5)],
+            ModelId::Llama3_8b => [Some(72.9), Some(73.6), Some(72.0)],
+            ModelId::AstroLlama3_8bAic => [Some(61.8), Some(68.4), Some(71.9)],
+            ModelId::AstroLlama3_8bSummary => [Some(69.0), Some(70.9), Some(72.3)],
+            ModelId::Llama2_70b => [Some(70.7), Some(71.4), Some(73.9)],
+            ModelId::AstroLlama2_70bAic => [Some(64.7), Some(75.4), Some(76.0)],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_models_in_order() {
+        let all = ModelId::all();
+        assert_eq!(all.len(), 8);
+        assert_eq!(all[0], ModelId::Llama2_7b);
+        assert_eq!(all[7], ModelId::AstroLlama2_70bAic);
+    }
+
+    #[test]
+    fn natives_have_no_recipe_and_are_own_series_baseline() {
+        for id in [ModelId::Llama2_7b, ModelId::Llama3_8b, ModelId::Llama2_70b] {
+            assert!(id.recipe().is_none());
+            assert_eq!(id.baseline(), id);
+            assert_eq!(id.source(), "Meta");
+        }
+    }
+
+    #[test]
+    fn cpt_models_point_to_their_native() {
+        assert_eq!(ModelId::AstroLlama2_70bAic.baseline(), ModelId::Llama2_70b);
+        assert_eq!(ModelId::AstroLlama3_8bSummary.baseline(), ModelId::Llama3_8b);
+        assert_eq!(ModelId::AstroLlama2_7bAbstract.baseline(), ModelId::Llama2_7b);
+    }
+
+    #[test]
+    fn abstract_model_has_no_instruct() {
+        assert!(!ModelId::AstroLlama2_7bAbstract.has_instruct());
+        assert!(ModelId::AstroLlama2_70bAic.has_instruct());
+    }
+
+    #[test]
+    fn paper_scores_match_table1_headlines() {
+        let s = ModelId::AstroLlama2_70bAic.paper_scores();
+        assert_eq!(s[2], Some(76.0));
+        assert_eq!(ModelId::Llama2_70b.paper_scores()[2], Some(73.9));
+        assert_eq!(ModelId::AstroLlama2_7bAbstract.paper_scores()[0], None);
+    }
+
+    #[test]
+    fn recipes_match_model_names() {
+        use astro_world::CorpusRecipe::*;
+        assert_eq!(ModelId::AstroLlama2_7bAbstract.recipe(), Some(Abstract));
+        assert_eq!(ModelId::AstroLlama3_8bSummary.recipe(), Some(Summary));
+        assert_eq!(ModelId::AstroLlama2_70bAic.recipe(), Some(Aic));
+    }
+
+    #[test]
+    fn names_and_series_are_unique() {
+        let names: std::collections::HashSet<&str> =
+            ModelId::all().iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), 8);
+    }
+}

@@ -1,0 +1,235 @@
+//! Answer extraction cascade for the full-instruct method.
+//!
+//! The paper (§V-A): *"we implemented a preliminary regex to extract
+//! answers in most cases. In the rare instances where this failed, we
+//! employed a GPT-4o model to interpret the intended answer from the
+//! model's explanation."* Our cascade mirrors that:
+//!
+//! 1. [`ExtractionStage::Json`] — parse the requested JSON and read
+//!    `ANSWER`;
+//! 2. [`ExtractionStage::Pattern`] — pattern scan for `ANSWER: X`,
+//!    `answer is X`, a leading bare letter, etc. (the "preliminary
+//!    regex");
+//! 3. [`ExtractionStage::Interpreter`] — the GPT-4o stand-in: match the
+//!    free-form explanation against the option texts and letter mentions
+//!    and pick the best-supported option;
+//! 4. [`ExtractionStage::Failed`] — nothing extractable (scored wrong).
+
+use crate::json::Json;
+
+/// Which stage of the cascade produced the answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExtractionStage {
+    /// Clean JSON with an ANSWER field.
+    Json,
+    /// Pattern scan over the raw text.
+    Pattern,
+    /// Fallback interpreter over the explanation.
+    Interpreter,
+    /// No answer recoverable.
+    Failed,
+}
+
+/// Extract an answer index (0–3) from a model's raw output.
+///
+/// Returns the chosen option and the stage that found it; `None` with
+/// [`ExtractionStage::Failed`] when nothing is recoverable.
+pub fn extract_answer(output: &str, options: &[String; 4]) -> (Option<usize>, ExtractionStage) {
+    // Stage 1: JSON.
+    if let Some(j) = Json::parse_embedded(output) {
+        if let Some(ans) = j.get_ci("ANSWER").and_then(Json::as_str) {
+            if let Some(idx) = letter_index(ans.trim()) {
+                return (Some(idx), ExtractionStage::Json);
+            }
+            // ANSWER contained option text instead of a letter.
+            if let Some(idx) = match_option_text(ans, options) {
+                return (Some(idx), ExtractionStage::Json);
+            }
+        }
+    }
+    // Stage 2: pattern scan.
+    if let Some(idx) = pattern_scan(output) {
+        return (Some(idx), ExtractionStage::Pattern);
+    }
+    // Stage 3: interpreter.
+    if let Some(idx) = interpret(output, options) {
+        return (Some(idx), ExtractionStage::Interpreter);
+    }
+    (None, ExtractionStage::Failed)
+}
+
+/// Map a string beginning with an answer letter to its index.
+fn letter_index(s: &str) -> Option<usize> {
+    let first = s.chars().next()?;
+    let idx = match first.to_ascii_uppercase() {
+        'A' => 0,
+        'B' => 1,
+        'C' => 2,
+        'D' => 3,
+        _ => return None,
+    };
+    // Only accept if the letter stands alone ("B", "B.", "B:") — not the
+    // start of a word like "Because".
+    let rest = &s[first.len_utf8()..];
+    if rest.is_empty() || rest.starts_with([' ', '.', ':', ')', ',']) {
+        Some(idx)
+    } else {
+        None
+    }
+}
+
+/// The "preliminary regex": scan for answer-announcement patterns.
+fn pattern_scan(text: &str) -> Option<usize> {
+    // Highest-priority: explicit ANSWER markers.
+    for marker in ["ANSWER:", "Answer:", "answer:", "ANSWER is", "answer is", "Answer is"] {
+        if let Some(pos) = text.find(marker) {
+            let after = text[pos + marker.len()..].trim_start_matches([' ', '"', '*', '(']);
+            if let Some(idx) = letter_index(after) {
+                return Some(idx);
+            }
+        }
+    }
+    // A response that *begins* with a standalone letter ("B." / "B) ...").
+    let trimmed = text.trim_start();
+    if let Some(idx) = letter_index(trimmed) {
+        return Some(idx);
+    }
+    None
+}
+
+/// The GPT-4o stand-in: score each option by how strongly the text
+/// supports it (option-text occurrences weigh more than bare letter
+/// mentions) and return the argmax if it is unique.
+fn interpret(text: &str, options: &[String; 4]) -> Option<usize> {
+    let mut scores = [0usize; 4];
+    for (i, opt) in options.iter().enumerate() {
+        if opt.is_empty() {
+            continue;
+        }
+        scores[i] += 3 * text.matches(opt.as_str()).count();
+    }
+    // Letter mentions like "option B" or "(B)".
+    for (i, letter) in ['A', 'B', 'C', 'D'].iter().enumerate() {
+        for pat in [
+            format!("option {letter}"),
+            format!("Option {letter}"),
+            format!("({letter})"),
+            format!("choice {letter}"),
+        ] {
+            scores[i] += text.matches(&pat).count();
+        }
+    }
+    let best = *scores.iter().max().expect("four scores");
+    if best == 0 {
+        return None;
+    }
+    let winners: Vec<usize> = (0..4).filter(|&i| scores[i] == best).collect();
+    if winners.len() == 1 {
+        Some(winners[0])
+    } else {
+        None // ambiguous — treat as unparseable
+    }
+}
+
+/// Exact/substring match of ANSWER content against the option texts.
+fn match_option_text(ans: &str, options: &[String; 4]) -> Option<usize> {
+    let ans = ans.trim();
+    options
+        .iter()
+        .position(|o| o == ans)
+        .or_else(|| options.iter().position(|o| ans.contains(o.as_str())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> [String; 4] {
+        ["0.05", "0.45", "1.2", "3.1"].map(|s| s.to_string())
+    }
+
+    #[test]
+    fn clean_json_extracts_via_json_stage() {
+        let out = r#"{"ANSWER": "B", "EXPLANATION": "The redshift is 0.45."}"#;
+        let (idx, stage) = extract_answer(out, &opts());
+        assert_eq!(idx, Some(1));
+        assert_eq!(stage, ExtractionStage::Json);
+    }
+
+    #[test]
+    fn json_with_option_text_in_answer() {
+        let out = r#"{"ANSWER": "0.45", "EXPLANATION": "see text"}"#;
+        let (idx, stage) = extract_answer(out, &opts());
+        assert_eq!(idx, Some(1));
+        assert_eq!(stage, ExtractionStage::Json);
+    }
+
+    #[test]
+    fn json_wrapped_in_prose_still_json_stage() {
+        let out = "Here you go: {\"ANSWER\": \"D\", \"EXPLANATION\": \"x\"} done";
+        let (idx, stage) = extract_answer(out, &opts());
+        assert_eq!(idx, Some(3));
+        assert_eq!(stage, ExtractionStage::Json);
+    }
+
+    #[test]
+    fn pattern_stage_catches_answer_colon() {
+        let out = "I think about it... Answer: C because of the spectrum";
+        let (idx, stage) = extract_answer(out, &opts());
+        assert_eq!(idx, Some(2));
+        assert_eq!(stage, ExtractionStage::Pattern);
+    }
+
+    #[test]
+    fn pattern_stage_catches_leading_letter() {
+        let (idx, stage) = extract_answer("B. The value follows from the data.", &opts());
+        assert_eq!(idx, Some(1));
+        assert_eq!(stage, ExtractionStage::Pattern);
+    }
+
+    #[test]
+    fn leading_letter_not_confused_with_word() {
+        // "Because" must not be read as answer B via the letter rule; the
+        // interpreter may still find option text.
+        let (idx, _) = extract_answer("Because of reasons the value is 3.1", &opts());
+        assert_eq!(idx, Some(3));
+    }
+
+    #[test]
+    fn interpreter_counts_option_text() {
+        let out = "The measured redshift of this source is 1.2, as several surveys agree; 1.2 is consistent.";
+        let (idx, stage) = extract_answer(out, &opts());
+        assert_eq!(idx, Some(2));
+        assert_eq!(stage, ExtractionStage::Interpreter);
+    }
+
+    #[test]
+    fn interpreter_ambiguity_fails() {
+        let out = "It could be 0.05 or maybe 0.45, hard to say.";
+        let (idx, stage) = extract_answer(out, &opts());
+        assert_eq!(idx, None);
+        assert_eq!(stage, ExtractionStage::Failed);
+    }
+
+    #[test]
+    fn garbage_fails() {
+        let (idx, stage) = extract_answer("lorem ipsum dolor", &opts());
+        assert_eq!(idx, None);
+        assert_eq!(stage, ExtractionStage::Failed);
+    }
+
+    #[test]
+    fn empty_output_fails() {
+        let (idx, stage) = extract_answer("", &opts());
+        assert_eq!(idx, None);
+        assert_eq!(stage, ExtractionStage::Failed);
+    }
+
+    #[test]
+    fn lowercase_json_key_accepted() {
+        let out = r#"{"answer": "a"}"#;
+        let (idx, stage) = extract_answer(out, &opts());
+        assert_eq!(idx, Some(0));
+        assert_eq!(stage, ExtractionStage::Json);
+    }
+}

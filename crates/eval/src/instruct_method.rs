@@ -1,0 +1,206 @@
+//! The full-instruct benchmarking method (paper §V-A, Appendix B).
+//!
+//! The instruct model is prompted conversationally — expert role-play
+//! system prompt, the question with options, chain-of-thought + JSON
+//! output instructions — and generates freely; the answer is recovered by
+//! the extraction cascade. This is the method that exposes
+//! instruction-following weaknesses: a model whose knowledge is intact
+//! but whose output formatting degraded after SFT loses points here while
+//! holding its token-method score (the paper's central SFT finding).
+
+use crate::extract::{extract_answer, ExtractionStage};
+use crate::EvalModel;
+use astro_mcq::prompts::instruct_method_messages;
+use astro_mcq::Mcq;
+use astro_model::{sample_logits, InferenceSession, SamplerConfig};
+use astro_prng::Rng;
+use astro_tokenizer::{ChatMessage, ChatTemplate, Role};
+
+/// Configuration for the full-instruct method.
+#[derive(Clone, Copy, Debug)]
+pub struct InstructEvalConfig {
+    /// Maximum generated tokens per answer (paper: up to 512; scaled to
+    /// our context windows).
+    pub max_new_tokens: usize,
+    /// Sampling settings ("default instructions" per the paper; greedy
+    /// keeps our runs deterministic).
+    pub sampler: SamplerConfig,
+    /// Use the verbose Appendix-B boilerplate prompt.
+    pub verbose_prompt: bool,
+}
+
+impl Default for InstructEvalConfig {
+    fn default() -> Self {
+        InstructEvalConfig {
+            max_new_tokens: 48,
+            sampler: SamplerConfig::greedy(),
+            verbose_prompt: false,
+        }
+    }
+}
+
+/// One question's full-instruct outcome.
+#[derive(Clone, Debug)]
+pub struct InstructAnswer {
+    /// The extracted option index, if any.
+    pub prediction: Option<usize>,
+    /// Which cascade stage recovered it.
+    pub stage: ExtractionStage,
+    /// The raw generated text (diagnostics).
+    pub raw: String,
+}
+
+/// Generate an answer for one question.
+pub fn instruct_method_answer(
+    model: &EvalModel<'_>,
+    question: &Mcq,
+    config: &InstructEvalConfig,
+    rng: &mut Rng,
+) -> InstructAnswer {
+    let (system, user) = instruct_method_messages(question, config.verbose_prompt);
+    let msgs = [
+        ChatMessage::new(Role::System, system),
+        ChatMessage::new(Role::User, user),
+    ];
+    let mut prompt = ChatTemplate.render_prompt(model.tokenizer, &msgs);
+    // Keep the tail if the prompt exceeds the context, reserving room to
+    // generate.
+    let cap = model.params.cfg.max_seq;
+    let budget = config.max_new_tokens.min(cap.saturating_sub(8));
+    if prompt.len() > cap - budget {
+        prompt.drain(0..prompt.len() - (cap - budget));
+    }
+    let mut sess = InferenceSession::new(model.params.cfg);
+    let mut logits = sess.feed_prompt(model.params, &prompt);
+    let end = model.tokenizer.special("<|end|>");
+    let eos = model.tokenizer.eos();
+    let mut generated: Vec<u32> = Vec::with_capacity(budget);
+    for _ in 0..budget {
+        if sess.remaining() == 0 {
+            break;
+        }
+        let next = sample_logits(&logits, &config.sampler, rng) as u32;
+        if next == end || next == eos {
+            break;
+        }
+        generated.push(next);
+        logits = sess.feed(model.params, next).to_vec();
+    }
+    let raw = model.tokenizer.decode(&generated);
+    let (prediction, stage) = extract_answer(&raw, &question.options);
+    InstructAnswer {
+        prediction,
+        stage,
+        raw,
+    }
+}
+
+/// Evaluate the full-instruct method over a question set.
+pub fn instruct_method(
+    model: &EvalModel<'_>,
+    questions: &[&Mcq],
+    config: &InstructEvalConfig,
+    rng: &mut Rng,
+) -> Vec<InstructAnswer> {
+    questions
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            let mut qrng = rng.substream_idx("instruct-q", i as u64);
+            instruct_method_answer(model, q, config, &mut qrng)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astro_mcq::{McqConfig, McqDataset};
+    use astro_model::{ModelConfig, Params};
+    use astro_tokenizer::{train_bpe, BpeTrainerConfig, Tokenizer};
+    use astro_world::{World, WorldConfig};
+
+    fn setup() -> (Tokenizer, McqDataset) {
+        let world = World::generate(9, WorldConfig::small());
+        let mut rng = Rng::seed_from(9);
+        let ds = McqDataset::generate(&world, &McqConfig::default(), &mut rng);
+        let corpus = ds
+            .questions
+            .iter()
+            .take(20)
+            .map(|q| q.question.clone())
+            .collect::<Vec<_>>()
+            .join(" ");
+        let tok = train_bpe(
+            &[corpus],
+            &BpeTrainerConfig {
+                vocab_size: 380,
+                ..Default::default()
+            },
+        );
+        (tok, ds)
+    }
+
+    #[test]
+    fn generates_and_reports_stage() {
+        let (tok, ds) = setup();
+        let cfg = ModelConfig::tiny(tok.vocab_size());
+        let params = Params::init(cfg, &mut Rng::seed_from(1));
+        let model = EvalModel {
+            params: &params,
+            tokenizer: &tok,
+        };
+        let mut rng = Rng::seed_from(2);
+        let a = instruct_method_answer(
+            &model,
+            &ds.questions[0],
+            &InstructEvalConfig::default(),
+            &mut rng,
+        );
+        // Untrained model: answer likely unparseable, but the pipeline
+        // must complete and classify.
+        if a.prediction.is_none() {
+            assert_eq!(a.stage, ExtractionStage::Failed);
+        } else {
+            assert!(a.prediction.unwrap() < 4);
+        }
+    }
+
+    #[test]
+    fn respects_generation_budget() {
+        let (tok, ds) = setup();
+        let cfg = ModelConfig::tiny(tok.vocab_size());
+        let params = Params::init(cfg, &mut Rng::seed_from(3));
+        let model = EvalModel {
+            params: &params,
+            tokenizer: &tok,
+        };
+        let config = InstructEvalConfig {
+            max_new_tokens: 4,
+            ..Default::default()
+        };
+        let mut rng = Rng::seed_from(4);
+        let a = instruct_method_answer(&model, &ds.questions[0], &config, &mut rng);
+        assert!(tok.encode(&a.raw).len() <= 8, "raw too long: {:?}", a.raw);
+    }
+
+    #[test]
+    fn batch_evaluation_is_deterministic_with_greedy() {
+        let (tok, ds) = setup();
+        let cfg = ModelConfig::tiny(tok.vocab_size());
+        let params = Params::init(cfg, &mut Rng::seed_from(5));
+        let model = EvalModel {
+            params: &params,
+            tokenizer: &tok,
+        };
+        let qs: Vec<&Mcq> = ds.questions.iter().take(3).collect();
+        let mut r1 = Rng::seed_from(6);
+        let mut r2 = Rng::seed_from(6);
+        let a = instruct_method(&model, &qs, &InstructEvalConfig::default(), &mut r1);
+        let b = instruct_method(&model, &qs, &InstructEvalConfig::default(), &mut r2);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.raw, y.raw);
+            assert_eq!(x.prediction, y.prediction);
+        }
+    }
+}

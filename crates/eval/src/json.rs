@@ -1,0 +1,317 @@
+//! A minimal JSON parser sufficient for the full-instruct output format.
+//!
+//! The paper's evaluation asks models for
+//! `{"ANSWER": "X", "EXPLANATION": "..."}` and parses it; weaker models
+//! emit malformed JSON, which is exactly the failure mode the extraction
+//! cascade handles. We implement a small recursive-descent parser for
+//! objects / strings / numbers / booleans — no external dependency, and
+//! the parser itself is part of the reproduced system.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value (subset: no unicode escapes beyond `\u` passthrough).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// An object with string keys.
+    Object(BTreeMap<String, Json>),
+    /// An array.
+    Array(Vec<Json>),
+    /// A string.
+    String(String),
+    /// A number (stored as f64).
+    Number(f64),
+    /// A boolean.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl Json {
+    /// Parse a complete JSON document.
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let bytes = input.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing characters at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    /// Parse the *first* JSON object embedded in arbitrary text (models
+    /// often wrap their JSON in prose). Scans for `{` and attempts a parse
+    /// at each candidate.
+    pub fn parse_embedded(input: &str) -> Option<Json> {
+        let bytes = input.as_bytes();
+        for (i, &b) in bytes.iter().enumerate() {
+            if b == b'{' {
+                let mut pos = i;
+                if let Ok(v) = parse_value(bytes, &mut pos) {
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// Get a field of an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// Get a field case-insensitively.
+    pub fn get_ci(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(map) => map
+                .iter()
+                .find(|(k, _)| k.eq_ignore_ascii_case(key))
+                .map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    if *pos >= b.len() {
+        return Err("unexpected end of input".to_string());
+    }
+    match b[*pos] {
+        b'{' => parse_object(b, pos),
+        b'[' => parse_array(b, pos),
+        b'"' => Ok(Json::String(parse_string(b, pos)?)),
+        b't' => parse_lit(b, pos, "true", Json::Bool(true)),
+        b'f' => parse_lit(b, pos, "false", Json::Bool(false)),
+        b'n' => parse_lit(b, pos, "null", Json::Null),
+        b'-' | b'0'..=b'9' => parse_number(b, pos),
+        c => Err(format!("unexpected byte {:?} at {}", c as char, *pos)),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("invalid literal at {}", *pos))
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // consume {
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == b'}' {
+        *pos += 1;
+        return Ok(Json::Object(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        if *pos >= b.len() || b[*pos] != b'"' {
+            return Err(format!("expected string key at {}", *pos));
+        }
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if *pos >= b.len() || b[*pos] != b':' {
+            return Err(format!("expected ':' at {}", *pos));
+        }
+        *pos += 1;
+        let value = parse_value(b, pos)?;
+        map.insert(key, value);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Object(map));
+            }
+            _ => return Err(format!("expected ',' or '}}' at {}", *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // consume [
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == b']' {
+        *pos += 1;
+        return Ok(Json::Array(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at {}", *pos)),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    *pos += 1; // consume opening quote
+    let mut out = String::new();
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(&c @ (b'"' | b'\\' | b'/')) => out.push(c as char),
+                    Some(_) | None => return Err(format!("bad escape at {}", *pos)),
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Copy one UTF-8 scalar.
+                let s = &b[*pos..];
+                let len = utf8_len(s[0]);
+                if s.len() < len {
+                    return Err("truncated UTF-8".to_string());
+                }
+                out.push_str(
+                    std::str::from_utf8(&s[..len]).map_err(|e| format!("bad UTF-8: {e}"))?,
+                );
+                *pos += len;
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b[*pos] == b'-' {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    let s = std::str::from_utf8(&b[start..*pos]).expect("digits are ASCII");
+    s.parse::<f64>()
+        .map(Json::Number)
+        .map_err(|e| format!("bad number {s:?}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_answer_format() {
+        let j = Json::parse(r#"{"ANSWER": "B", "EXPLANATION": "because"}"#).unwrap();
+        assert_eq!(j.get("ANSWER").and_then(Json::as_str), Some("B"));
+        assert_eq!(j.get("EXPLANATION").and_then(Json::as_str), Some("because"));
+    }
+
+    #[test]
+    fn case_insensitive_get() {
+        let j = Json::parse(r#"{"answer": "C"}"#).unwrap();
+        assert_eq!(j.get_ci("ANSWER").and_then(Json::as_str), Some("C"));
+    }
+
+    #[test]
+    fn parses_nested_and_arrays() {
+        let j = Json::parse(r#"{"a": [1, 2.5, true, null], "b": {"c": "d"}}"#).unwrap();
+        match j.get("a") {
+            Some(Json::Array(items)) => {
+                assert_eq!(items.len(), 4);
+                assert_eq!(items[0], Json::Number(1.0));
+                assert_eq!(items[2], Json::Bool(true));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            j.get("b").and_then(|b| b.get("c")).and_then(Json::as_str),
+            Some("d")
+        );
+    }
+
+    #[test]
+    fn escapes_in_strings() {
+        let j = Json::parse(r#"{"s": "line\nbreak \"quoted\""}"#).unwrap();
+        assert_eq!(j.get("s").and_then(Json::as_str), Some("line\nbreak \"quoted\""));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "{",
+            "{\"a\" 1}",
+            "{\"a\": }",
+            "[1, 2",
+            "{\"a\": \"unterminated}",
+            "{'single': 'quotes'}",
+            "",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(Json::parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn embedded_object_in_prose() {
+        let text = "Sure! Here is my answer: {\"ANSWER\": \"D\"} hope that helps";
+        let j = Json::parse_embedded(text).unwrap();
+        assert_eq!(j.get("ANSWER").and_then(Json::as_str), Some("D"));
+    }
+
+    #[test]
+    fn embedded_skips_broken_then_finds_valid() {
+        let text = "{oops {\"ANSWER\": \"A\"}";
+        let j = Json::parse_embedded(text).unwrap();
+        assert_eq!(j.get("ANSWER").and_then(Json::as_str), Some("A"));
+    }
+
+    #[test]
+    fn embedded_none_when_absent() {
+        assert!(Json::parse_embedded("no json here").is_none());
+    }
+
+    #[test]
+    fn unicode_strings() {
+        let j = Json::parse(r#"{"s": "σ Ori ☉"}"#).unwrap();
+        assert_eq!(j.get("s").and_then(Json::as_str), Some("σ Ori ☉"));
+    }
+}

@@ -1,0 +1,333 @@
+//! Scoring: run one benchmarking method over a question set and count
+//! correct answers (the paper's metric is the fraction of accurate
+//! answers), plus analysis utilities — per-tier breakdowns (where does a
+//! CPT gain come from?) and bootstrap confidence intervals.
+
+use crate::extract::ExtractionStage;
+use crate::instruct_method::{instruct_method, InstructEvalConfig};
+use crate::token_method::{token_method, TokenEvalConfig};
+use crate::EvalModel;
+use astro_mcq::Mcq;
+use astro_prng::Rng;
+use astro_world::FactTier;
+
+/// The three benchmarking methods of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Conversational Q&A with JSON output (§V-A), on the instruct model.
+    FullInstruct,
+    /// Next-token logits on the instruct model (§V-C).
+    TokenInstruct,
+    /// Next-token logits on the base model (§V-B).
+    TokenBase,
+}
+
+impl Method {
+    /// Column label used in Table I.
+    pub fn label(self) -> &'static str {
+        match self {
+            Method::FullInstruct => "Full Instruct",
+            Method::TokenInstruct => "Token Prediction (Instruct Model)",
+            Method::TokenBase => "Token Prediction (Base Model)",
+        }
+    }
+
+    /// All methods in Table I column order.
+    pub fn all() -> [Method; 3] {
+        [Method::FullInstruct, Method::TokenInstruct, Method::TokenBase]
+    }
+}
+
+/// Result of scoring one model under one method.
+#[derive(Clone, Debug)]
+pub struct Score {
+    /// Correct answers.
+    pub correct: usize,
+    /// Questions evaluated.
+    pub total: usize,
+    /// Extraction-stage counts (full-instruct only):
+    /// `[json, pattern, interpreter, failed]`.
+    pub stages: [usize; 4],
+}
+
+impl Score {
+    /// Accuracy as a percentage (the paper's score).
+    pub fn percent(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        100.0 * self.correct as f64 / self.total as f64
+    }
+
+    /// Fraction of answers that needed the fallback interpreter or failed
+    /// outright — the instruction-following health indicator.
+    pub fn parse_trouble_rate(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        (self.stages[2] + self.stages[3]) as f64 / self.total as f64
+    }
+}
+
+/// Accuracy split by fact tier — the decomposition that explains CPT
+/// effects: consensus questions measure retention of pretraining
+/// knowledge (forgetting shows up here), frontier/detail questions
+/// measure what CPT added.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TierBreakdown {
+    /// (correct, total) on consensus-tier questions.
+    pub consensus: (usize, usize),
+    /// (correct, total) on frontier-tier questions.
+    pub frontier: (usize, usize),
+    /// (correct, total) on detail-tier questions.
+    pub detail: (usize, usize),
+}
+
+impl TierBreakdown {
+    /// Build from per-question predictions.
+    pub fn from_predictions(questions: &[&Mcq], predictions: &[usize]) -> Self {
+        assert_eq!(questions.len(), predictions.len());
+        let mut out = TierBreakdown::default();
+        for (q, &p) in questions.iter().zip(predictions.iter()) {
+            let slot = match q.tier {
+                FactTier::Consensus => &mut out.consensus,
+                FactTier::Frontier => &mut out.frontier,
+                FactTier::Detail => &mut out.detail,
+            };
+            slot.1 += 1;
+            if p == q.answer {
+                slot.0 += 1;
+            }
+        }
+        out
+    }
+
+    /// Accuracy (%) on one tier; `None` when no questions of that tier
+    /// were evaluated.
+    pub fn percent(&self, tier: FactTier) -> Option<f64> {
+        let (c, t) = match tier {
+            FactTier::Consensus => self.consensus,
+            FactTier::Frontier => self.frontier,
+            FactTier::Detail => self.detail,
+        };
+        (t > 0).then(|| 100.0 * c as f64 / t as f64)
+    }
+}
+
+/// Percentile bootstrap confidence interval for an accuracy score.
+///
+/// Resamples the per-question correctness vector `resamples` times and
+/// returns the `(lo, hi)` percentile bounds in percent. Deterministic in
+/// the provided RNG.
+pub fn bootstrap_ci(
+    correctness: &[bool],
+    resamples: usize,
+    confidence: f64,
+    rng: &mut Rng,
+) -> (f64, f64) {
+    assert!(!correctness.is_empty(), "bootstrap over empty sample");
+    assert!((0.0..1.0).contains(&(1.0 - confidence)), "bad confidence");
+    let n = correctness.len();
+    let mut stats: Vec<f64> = (0..resamples.max(1))
+        .map(|_| {
+            let hits = (0..n).filter(|_| correctness[rng.index(n)]).count();
+            100.0 * hits as f64 / n as f64
+        })
+        .collect();
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let alpha = (1.0 - confidence) / 2.0;
+    let lo_idx = ((stats.len() as f64) * alpha).floor() as usize;
+    let hi_idx = (((stats.len() as f64) * (1.0 - alpha)).ceil() as usize)
+        .saturating_sub(1)
+        .min(stats.len() - 1);
+    (stats[lo_idx], stats[hi_idx])
+}
+
+/// Evaluation settings shared across methods.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalOutcome {
+    /// Token-method settings.
+    pub token: TokenEvalConfig,
+    /// Full-instruct settings.
+    pub instruct: InstructEvalConfig,
+}
+
+impl Default for EvalOutcome {
+    fn default() -> Self {
+        EvalOutcome {
+            token: TokenEvalConfig::default(),
+            instruct: InstructEvalConfig::default(),
+        }
+    }
+}
+
+/// Run `method` for `model` over `questions`, returning the score.
+pub fn evaluate(
+    model: &EvalModel<'_>,
+    questions: &[&Mcq],
+    exemplars: &[Mcq],
+    method: Method,
+    token_cfg: &TokenEvalConfig,
+    instruct_cfg: &InstructEvalConfig,
+    rng: &mut Rng,
+) -> Score {
+    match method {
+        Method::TokenBase | Method::TokenInstruct => {
+            let preds = token_method(model, questions, exemplars, token_cfg);
+            let correct = preds
+                .iter()
+                .zip(questions.iter())
+                .filter(|(&p, q)| p == q.answer)
+                .count();
+            Score {
+                correct,
+                total: questions.len(),
+                stages: [0; 4],
+            }
+        }
+        Method::FullInstruct => {
+            let answers = instruct_method(model, questions, instruct_cfg, rng);
+            let mut stages = [0usize; 4];
+            let mut correct = 0;
+            for (a, q) in answers.iter().zip(questions.iter()) {
+                let si = match a.stage {
+                    ExtractionStage::Json => 0,
+                    ExtractionStage::Pattern => 1,
+                    ExtractionStage::Interpreter => 2,
+                    ExtractionStage::Failed => 3,
+                };
+                stages[si] += 1;
+                if a.prediction == Some(q.answer) {
+                    correct += 1;
+                }
+            }
+            Score {
+                correct,
+                total: questions.len(),
+                stages,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astro_mcq::{McqConfig, McqDataset};
+    use astro_model::{ModelConfig, Params};
+    use astro_tokenizer::{train_bpe, BpeTrainerConfig};
+    use astro_world::{World, WorldConfig};
+
+    #[test]
+    fn tier_breakdown_counts_by_tier() {
+        let world = World::generate(61, WorldConfig::small());
+        let mut rng = Rng::seed_from(61);
+        let ds = McqDataset::generate(&world, &McqConfig::default(), &mut rng);
+        let qs: Vec<&Mcq> = ds.questions.iter().take(40).collect();
+        // Predict everything correctly.
+        let preds: Vec<usize> = qs.iter().map(|q| q.answer).collect();
+        let b = TierBreakdown::from_predictions(&qs, &preds);
+        let total = b.consensus.1 + b.frontier.1 + b.detail.1;
+        assert_eq!(total, 40);
+        for tier in [FactTier::Consensus, FactTier::Frontier] {
+            if let Some(p) = b.percent(tier) {
+                assert_eq!(p, 100.0);
+            }
+        }
+        // Predict everything wrong.
+        let wrong: Vec<usize> = qs.iter().map(|q| (q.answer + 1) % 4).collect();
+        let b2 = TierBreakdown::from_predictions(&qs, &wrong);
+        assert_eq!(b2.percent(FactTier::Consensus).unwrap_or(0.0), 0.0);
+    }
+
+    #[test]
+    fn tier_breakdown_empty_tier_is_none() {
+        let b = TierBreakdown::default();
+        assert!(b.percent(FactTier::Detail).is_none());
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_point_estimate() {
+        let mut rng = Rng::seed_from(3);
+        let correctness: Vec<bool> = (0..200).map(|i| i % 4 != 0).collect(); // 75%
+        let (lo, hi) = bootstrap_ci(&correctness, 500, 0.95, &mut rng);
+        assert!(lo <= 75.0 && 75.0 <= hi, "({lo}, {hi})");
+        assert!(hi - lo < 20.0, "interval implausibly wide: ({lo}, {hi})");
+        assert!(hi - lo > 1.0, "interval implausibly tight: ({lo}, {hi})");
+    }
+
+    #[test]
+    fn bootstrap_ci_degenerate_all_correct() {
+        let mut rng = Rng::seed_from(4);
+        let (lo, hi) = bootstrap_ci(&[true; 50], 200, 0.9, &mut rng);
+        assert_eq!((lo, hi), (100.0, 100.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn bootstrap_ci_rejects_empty() {
+        bootstrap_ci(&[], 10, 0.95, &mut Rng::seed_from(0));
+    }
+
+    #[test]
+    fn percent_and_trouble_rate() {
+        let s = Score {
+            correct: 3,
+            total: 4,
+            stages: [1, 1, 1, 1],
+        };
+        assert!((s.percent() - 75.0).abs() < 1e-9);
+        assert!((s.parse_trouble_rate() - 0.5).abs() < 1e-9);
+        let empty = Score {
+            correct: 0,
+            total: 0,
+            stages: [0; 4],
+        };
+        assert_eq!(empty.percent(), 0.0);
+        assert_eq!(empty.parse_trouble_rate(), 0.0);
+    }
+
+    #[test]
+    fn method_labels_match_table1_columns() {
+        assert_eq!(Method::all().len(), 3);
+        assert!(Method::FullInstruct.label().contains("Full"));
+        assert!(Method::TokenBase.label().contains("Base"));
+    }
+
+    #[test]
+    fn evaluate_runs_all_methods_on_untrained_model() {
+        let world = World::generate(17, WorldConfig::small());
+        let mut rng = Rng::seed_from(17);
+        let ds = McqDataset::generate(&world, &McqConfig::default(), &mut rng);
+        let tok = train_bpe(
+            &[ds.questions[0].question.clone()],
+            &BpeTrainerConfig {
+                vocab_size: 300,
+                ..Default::default()
+            },
+        );
+        let cfg = ModelConfig::tiny(tok.vocab_size());
+        let params = Params::init(cfg, &mut Rng::seed_from(1));
+        let model = EvalModel {
+            params: &params,
+            tokenizer: &tok,
+        };
+        let qs: Vec<&Mcq> = ds.questions.iter().take(4).collect();
+        for method in Method::all() {
+            let s = evaluate(
+                &model,
+                &qs,
+                &ds.exemplars,
+                method,
+                &TokenEvalConfig::default(),
+                &InstructEvalConfig::default(),
+                &mut rng,
+            );
+            assert_eq!(s.total, 4);
+            assert!(s.correct <= 4);
+            if method == Method::FullInstruct {
+                assert_eq!(s.stages.iter().sum::<usize>(), 4);
+            }
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! The astronomy MCQ benchmark generator.
+//!
+//! Reproduces the construction of the AstroMLab benchmark (paper §IV,
+//! after Ting et al. 2024): **885 review articles × 5 questions × 4
+//! options = 4,425 MCQs**, built here from the synthetic world's fact
+//! graph instead of Gemini-extracted ARAA content. The generator follows
+//! the stated construction principles:
+//!
+//! * questions are standalone fact probes, independent of any one
+//!   article's narrative;
+//! * options are drawn from the same relation's closed value pool, so all
+//!   four "are of equal length, preventing easy elimination based on
+//!   superficial characteristics";
+//! * the answer key position is uniform over A–D;
+//! * a small held-out **exemplar set** provides the two-shot examples used
+//!   by the next-token benchmarking method (exemplars are never scored).
+
+pub mod prompts;
+
+use astro_prng::Rng;
+use astro_world::{build_options, render_question, FactTier, World};
+
+/// Answer letters.
+pub const LETTERS: [char; 4] = ['A', 'B', 'C', 'D'];
+
+/// One multiple-choice question.
+#[derive(Clone, Debug)]
+pub struct Mcq {
+    /// Index into the dataset.
+    pub id: usize,
+    /// Source article index.
+    pub article: usize,
+    /// The fact being probed (index into `World::facts`).
+    pub fact: usize,
+    /// Question text.
+    pub question: String,
+    /// The four options, in presentation order.
+    pub options: [String; 4],
+    /// Index (0–3) of the correct option.
+    pub answer: usize,
+    /// Tier of the probed fact (consensus questions are answerable from
+    /// general pretraining; frontier/detail require CPT).
+    pub tier: FactTier,
+}
+
+impl Mcq {
+    /// The correct answer letter.
+    pub fn answer_letter(&self) -> char {
+        LETTERS[self.answer]
+    }
+}
+
+/// Generation parameters.
+#[derive(Clone, Debug)]
+pub struct McqConfig {
+    /// Questions per article (paper: 5).
+    pub questions_per_article: usize,
+    /// Number of questions held out as few-shot exemplars.
+    pub n_exemplars: usize,
+}
+
+impl Default for McqConfig {
+    fn default() -> Self {
+        McqConfig {
+            questions_per_article: 5,
+            n_exemplars: 8,
+        }
+    }
+}
+
+/// The generated benchmark.
+#[derive(Clone, Debug)]
+pub struct McqDataset {
+    /// Scored questions.
+    pub questions: Vec<Mcq>,
+    /// Held-out exemplars for few-shot prompting (never scored).
+    pub exemplars: Vec<Mcq>,
+}
+
+impl McqDataset {
+    /// Generate the benchmark from a world.
+    pub fn generate(world: &World, config: &McqConfig, rng: &mut Rng) -> Self {
+        let mut rng = rng.substream("mcq");
+        let mut all = Vec::with_capacity(world.articles.len() * config.questions_per_article);
+        for article in &world.articles {
+            // Sample distinct facts from the article's coverage.
+            let k = config.questions_per_article.min(article.fact_ids.len());
+            let picks = rng.sample_indices(article.fact_ids.len(), k);
+            for p in picks {
+                let fid = article.fact_ids[p];
+                let fact = &world.facts[fid];
+                let entity = world.entity_of(fact);
+                let (options, answer) = build_options(fact.relation.values(), fact.value, &mut rng);
+                all.push(Mcq {
+                    id: all.len(),
+                    article: article.id,
+                    fact: fid,
+                    question: render_question(entity, fact.relation),
+                    options: options.map(|o| o.to_string()),
+                    answer,
+                    tier: fact.tier,
+                });
+            }
+        }
+        // Hold out exemplars: prefer consensus questions whose fact is
+        // probed by no other question, so the few-shot examples neither
+        // leak frontier knowledge nor reveal answers to scored questions.
+        // Small worlds reuse facts heavily; fall back to least-probed
+        // consensus facts (one exemplar per fact) and accept the bounded
+        // leakage, as the paper's own same-benchmark exemplars do.
+        let mut fact_counts = std::collections::HashMap::new();
+        for q in &all {
+            *fact_counts.entry(q.fact).or_insert(0usize) += 1;
+        }
+        let mut unique: Vec<usize> = all
+            .iter()
+            .filter(|q| q.tier == FactTier::Consensus && fact_counts[&q.fact] == 1)
+            .map(|q| q.id)
+            .collect();
+        rng.shuffle(&mut unique);
+        let mut exemplar_ids: Vec<usize> = unique;
+        if exemplar_ids.len() < config.n_exemplars {
+            let mut fallback: Vec<&Mcq> = all
+                .iter()
+                .filter(|q| q.tier == FactTier::Consensus && fact_counts[&q.fact] > 1)
+                .collect();
+            // Deterministic order: least-probed facts first.
+            fallback.sort_by_key(|q| (fact_counts[&q.fact], q.id));
+            let mut used_facts: std::collections::HashSet<usize> = exemplar_ids
+                .iter()
+                .map(|&id| all[id].fact)
+                .collect();
+            for q in fallback {
+                if exemplar_ids.len() >= config.n_exemplars {
+                    break;
+                }
+                if used_facts.insert(q.fact) {
+                    exemplar_ids.push(q.id);
+                }
+            }
+        }
+        exemplar_ids.truncate(config.n_exemplars);
+        exemplar_ids.sort_unstable();
+        let mut exemplars = Vec::with_capacity(exemplar_ids.len());
+        let mut questions = Vec::with_capacity(all.len() - exemplar_ids.len());
+        for q in all {
+            if exemplar_ids.binary_search(&q.id).is_ok() {
+                exemplars.push(q);
+            } else {
+                questions.push(q);
+            }
+        }
+        // Re-number the scored questions.
+        for (i, q) in questions.iter_mut().enumerate() {
+            q.id = i;
+        }
+        McqDataset {
+            questions,
+            exemplars,
+        }
+    }
+
+    /// Number of scored questions.
+    pub fn len(&self) -> usize {
+        self.questions.len()
+    }
+
+    /// True if no scored questions exist.
+    pub fn is_empty(&self) -> bool {
+        self.questions.is_empty()
+    }
+
+    /// A deterministic subset of the scored questions (used by the fast
+    /// experiment preset; the paper always runs all 4,425).
+    pub fn subset(&self, n: usize, rng: &mut Rng) -> Vec<&Mcq> {
+        let n = n.min(self.questions.len());
+        let idx = rng.sample_indices(self.questions.len(), n);
+        idx.into_iter().map(|i| &self.questions[i]).collect()
+    }
+
+    /// Fraction of scored questions per tier, in
+    /// (consensus, frontier, detail) order.
+    pub fn tier_fractions(&self) -> (f64, f64, f64) {
+        let total = self.questions.len().max(1) as f64;
+        let count = |t: FactTier| {
+            self.questions.iter().filter(|q| q.tier == t).count() as f64 / total
+        };
+        (
+            count(FactTier::Consensus),
+            count(FactTier::Frontier),
+            count(FactTier::Detail),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astro_world::WorldConfig;
+
+    fn dataset() -> (World, McqDataset) {
+        let world = World::generate(42, WorldConfig::small());
+        let mut rng = Rng::seed_from(42);
+        let ds = McqDataset::generate(&world, &McqConfig::default(), &mut rng);
+        (world, ds)
+    }
+
+    #[test]
+    fn paper_scale_counts() {
+        // With the default world (885 articles × 5 questions), the scored
+        // set plus exemplars must be exactly 4,425.
+        let world = World::generate(1, WorldConfig::default());
+        let mut rng = Rng::seed_from(1);
+        let cfg = McqConfig::default();
+        let ds = McqDataset::generate(&world, &cfg, &mut rng);
+        assert_eq!(ds.questions.len() + ds.exemplars.len(), 885 * 5);
+        assert_eq!(ds.exemplars.len(), cfg.n_exemplars);
+    }
+
+    #[test]
+    fn options_contain_answer_and_are_distinct() {
+        let (_, ds) = dataset();
+        for q in &ds.questions {
+            let mut opts = q.options.to_vec();
+            assert!(q.answer < 4);
+            opts.sort_unstable();
+            opts.dedup();
+            assert_eq!(opts.len(), 4, "question {} has duplicate options", q.id);
+        }
+    }
+
+    #[test]
+    fn answer_matches_world_fact() {
+        let (world, ds) = dataset();
+        for q in &ds.questions {
+            let fact = &world.facts[q.fact];
+            assert_eq!(q.options[q.answer], fact.value, "question {}", q.id);
+        }
+    }
+
+    #[test]
+    fn answer_positions_roughly_uniform() {
+        let (_, ds) = dataset();
+        let mut counts = [0usize; 4];
+        for q in &ds.questions {
+            counts[q.answer] += 1;
+        }
+        let total: usize = counts.iter().sum();
+        for (i, &c) in counts.iter().enumerate() {
+            let f = c as f64 / total as f64;
+            assert!((f - 0.25).abs() < 0.1, "answer {} fraction {f}", LETTERS[i]);
+        }
+    }
+
+    #[test]
+    fn options_have_similar_lengths() {
+        // Paper §IV: options crafted to be of equal length. Same-pool
+        // values keep the spread small.
+        let (_, ds) = dataset();
+        for q in &ds.questions {
+            let lens: Vec<usize> = q.options.iter().map(|o| o.len()).collect();
+            let max = *lens.iter().max().unwrap();
+            let min = *lens.iter().min().unwrap();
+            assert!(max - min <= 10, "question {} lengths {lens:?}", q.id);
+        }
+    }
+
+    #[test]
+    fn exemplars_not_in_scored_set() {
+        let (_, ds) = dataset();
+        assert_eq!(ds.exemplars.len(), McqConfig::default().n_exemplars);
+        for e in &ds.exemplars {
+            assert!(
+                !ds.questions
+                    .iter()
+                    .any(|q| q.question == e.question && q.options == e.options),
+                "exemplar question duplicated verbatim in scored set"
+            );
+        }
+        // Exemplars cover distinct facts.
+        let mut facts: Vec<usize> = ds.exemplars.iter().map(|e| e.fact).collect();
+        facts.sort_unstable();
+        facts.dedup();
+        assert_eq!(facts.len(), ds.exemplars.len());
+    }
+
+    #[test]
+    fn exemplars_are_consensus_tier() {
+        let (_, ds) = dataset();
+        for e in &ds.exemplars {
+            assert_eq!(e.tier, FactTier::Consensus);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let world = World::generate(7, WorldConfig::small());
+        let mut r1 = Rng::seed_from(7);
+        let mut r2 = Rng::seed_from(7);
+        let a = McqDataset::generate(&world, &McqConfig::default(), &mut r1);
+        let b = McqDataset::generate(&world, &McqConfig::default(), &mut r2);
+        assert_eq!(a.questions.len(), b.questions.len());
+        for (x, y) in a.questions.iter().zip(b.questions.iter()) {
+            assert_eq!(x.question, y.question);
+            assert_eq!(x.options, y.options);
+            assert_eq!(x.answer, y.answer);
+        }
+    }
+
+    #[test]
+    fn subset_is_within_bounds_and_distinct() {
+        let (_, ds) = dataset();
+        let mut rng = Rng::seed_from(9);
+        let sub = ds.subset(20, &mut rng);
+        assert_eq!(sub.len(), 20);
+        let mut ids: Vec<usize> = sub.iter().map(|q| q.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 20);
+        // Requesting more than available clamps.
+        let all = ds.subset(usize::MAX, &mut rng);
+        assert_eq!(all.len(), ds.len());
+    }
+
+    #[test]
+    fn tier_fractions_sum_to_one() {
+        let (_, ds) = dataset();
+        let (c, f, d) = ds.tier_fractions();
+        assert!((c + f + d - 1.0).abs() < 1e-9);
+        assert!(c > 0.0);
+    }
+}

@@ -1,0 +1,317 @@
+//! KV-cache incremental decoding.
+//!
+//! [`InferenceSession`] feeds one token at a time, caching per-layer keys
+//! and values so each step costs `O(params + pos·d_model)` — the standard
+//! autoregressive-serving structure. Used by both the full-instruct method
+//! (free generation) and the next-token methods (single logit readout
+//! after the prompt).
+
+use crate::params::Params;
+use crate::{ModelConfig, ROPE_THETA};
+use astro_tensor::matmul::dot;
+use astro_tensor::ops;
+
+/// Incremental decoding state for one sequence.
+///
+/// `Clone` forks the session: both copies share the consumed prefix and
+/// can continue independently — used by the evaluation code to score
+/// several answer continuations against one prompt without re-encoding
+/// it.
+#[derive(Clone)]
+pub struct InferenceSession {
+    cfg: ModelConfig,
+    pos: usize,
+    /// Per-layer key cache `[max_seq, C]`.
+    k_cache: Vec<Vec<f32>>,
+    /// Per-layer value cache `[max_seq, C]`.
+    v_cache: Vec<Vec<f32>>,
+    // step scratch
+    x: Vec<f32>,
+    ln: Vec<f32>,
+    ln_inv: Vec<f32>,
+    q: Vec<f32>,
+    attn_out: Vec<f32>,
+    proj: Vec<f32>,
+    gate: Vec<f32>,
+    up: Vec<f32>,
+    act: Vec<f32>,
+    scores: Vec<f32>,
+    /// Logits after the last `feed`.
+    logits: Vec<f32>,
+    rope_cos: Vec<f32>,
+    rope_sin: Vec<f32>,
+}
+
+impl InferenceSession {
+    /// Allocate a session for a model configuration.
+    pub fn new(cfg: ModelConfig) -> Self {
+        cfg.validate().expect("invalid model config");
+        let c = cfg.d_model;
+        let f = cfg.d_ff;
+        let half = cfg.head_dim() / 2;
+        let mut rope_cos = vec![0.0f32; cfg.max_seq * half];
+        let mut rope_sin = vec![0.0f32; cfg.max_seq * half];
+        for pos in 0..cfg.max_seq {
+            for i in 0..half {
+                let freq = 1.0 / ROPE_THETA.powf(2.0 * i as f32 / cfg.head_dim() as f32);
+                let angle = pos as f32 * freq;
+                rope_cos[pos * half + i] = angle.cos();
+                rope_sin[pos * half + i] = angle.sin();
+            }
+        }
+        InferenceSession {
+            cfg,
+            pos: 0,
+            k_cache: (0..cfg.n_layers).map(|_| vec![0.0; cfg.max_seq * c]).collect(),
+            v_cache: (0..cfg.n_layers).map(|_| vec![0.0; cfg.max_seq * c]).collect(),
+            x: vec![0.0; c],
+            ln: vec![0.0; c],
+            ln_inv: vec![0.0; 1],
+            q: vec![0.0; c],
+            attn_out: vec![0.0; c],
+            proj: vec![0.0; c],
+            gate: vec![0.0; f],
+            up: vec![0.0; f],
+            act: vec![0.0; f],
+            scores: vec![0.0; cfg.max_seq],
+            logits: vec![0.0; cfg.vocab_size],
+            rope_cos,
+            rope_sin,
+        }
+    }
+
+    /// Current position (number of tokens consumed).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Remaining capacity before `max_seq` is reached.
+    pub fn remaining(&self) -> usize {
+        self.cfg.max_seq - self.pos
+    }
+
+    /// Clear the cache and restart at position 0.
+    pub fn reset(&mut self) {
+        self.pos = 0;
+    }
+
+    /// Feed one token; returns the logits for the *next* token.
+    ///
+    /// # Panics
+    /// Panics when the cache is full (`position() == max_seq`).
+    pub fn feed(&mut self, p: &Params, token: u32) -> &[f32] {
+        let c = self.cfg.d_model;
+        let f = self.cfg.d_ff;
+        let h = self.cfg.n_heads;
+        let hs = self.cfg.head_dim();
+        let half = hs / 2;
+        let pos = self.pos;
+        assert!(pos < self.cfg.max_seq, "KV cache full at {pos}");
+        let embed = p.view(&p.layout.embed.clone());
+        let tok = token as usize;
+        assert!(tok < self.cfg.vocab_size, "token {tok} out of vocab");
+        self.x.copy_from_slice(&embed[tok * c..(tok + 1) * c]);
+
+        for l in 0..self.cfg.n_layers {
+            let lay = p.layout.layers[l].clone();
+            ops::rmsnorm_rows(
+                &mut self.ln,
+                &mut self.ln_inv,
+                &self.x,
+                p.view(&lay.attn_norm),
+                1,
+                c,
+                1e-5,
+            );
+            // q into scratch; k,v straight into the cache row for `pos`.
+            row_matvec(&mut self.q, &self.ln, p.view(&lay.wq), c, c);
+            {
+                let krow = &mut self.k_cache[l][pos * c..(pos + 1) * c];
+                row_matvec(krow, &self.ln, p.view(&lay.wk), c, c);
+            }
+            {
+                let vrow = &mut self.v_cache[l][pos * c..(pos + 1) * c];
+                row_matvec(vrow, &self.ln, p.view(&lay.wv), c, c);
+            }
+            // RoPE on q and the new k row.
+            for hi in 0..h {
+                let base = hi * hs;
+                for i in 0..half {
+                    let co = self.rope_cos[pos * half + i];
+                    let si = self.rope_sin[pos * half + i];
+                    let rot = |buf: &mut [f32]| {
+                        let x0 = buf[base + 2 * i];
+                        let x1 = buf[base + 2 * i + 1];
+                        buf[base + 2 * i] = x0 * co - x1 * si;
+                        buf[base + 2 * i + 1] = x0 * si + x1 * co;
+                    };
+                    rot(&mut self.q);
+                    rot(&mut self.k_cache[l][pos * c..(pos + 1) * c]);
+                }
+            }
+            // Attention over cached positions 0..=pos.
+            let scale = 1.0 / (hs as f32).sqrt();
+            for hi in 0..h {
+                let qh = &self.q[hi * hs..(hi + 1) * hs];
+                let n = pos + 1;
+                for (j, s) in self.scores[..n].iter_mut().enumerate() {
+                    let kh = &self.k_cache[l][j * c + hi * hs..j * c + hi * hs + hs];
+                    *s = dot(qh, kh) * scale;
+                }
+                ops::softmax_rows(&mut self.scores[..n], 1, n);
+                let out = &mut self.attn_out[hi * hs..(hi + 1) * hs];
+                out.fill(0.0);
+                for j in 0..n {
+                    let w = self.scores[j];
+                    let vh = &self.v_cache[l][j * c + hi * hs..j * c + hi * hs + hs];
+                    for (o, &vv) in out.iter_mut().zip(vh.iter()) {
+                        *o += w * vv;
+                    }
+                }
+            }
+            // Output projection + residual.
+            row_matvec(&mut self.proj, &self.attn_out, p.view(&lay.wo), c, c);
+            for i in 0..c {
+                self.x[i] += self.proj[i];
+            }
+            // FFN.
+            ops::rmsnorm_rows(
+                &mut self.ln,
+                &mut self.ln_inv,
+                &self.x,
+                p.view(&lay.ffn_norm),
+                1,
+                c,
+                1e-5,
+            );
+            row_matvec(&mut self.gate, &self.ln, p.view(&lay.w_gate), c, f);
+            row_matvec(&mut self.up, &self.ln, p.view(&lay.w_up), c, f);
+            for i in 0..f {
+                self.act[i] = self.gate[i] * ops::sigmoid(self.gate[i]) * self.up[i];
+            }
+            row_matvec(&mut self.proj, &self.act, p.view(&lay.w_down), f, c);
+            for i in 0..c {
+                self.x[i] += self.proj[i];
+            }
+        }
+
+        ops::rmsnorm_rows(
+            &mut self.ln,
+            &mut self.ln_inv,
+            &self.x,
+            p.view(&p.layout.final_norm.clone()),
+            1,
+            c,
+            1e-5,
+        );
+        // Tied LM head: logits[v] = ln · embed_row(v).
+        for (vv, lg) in self.logits.iter_mut().enumerate() {
+            *lg = dot(&self.ln, &embed[vv * c..(vv + 1) * c]);
+        }
+        self.pos += 1;
+        &self.logits
+    }
+
+    /// Feed a whole prompt; returns the logits after its last token.
+    pub fn feed_prompt(&mut self, p: &Params, tokens: &[u32]) -> Vec<f32> {
+        assert!(!tokens.is_empty(), "empty prompt");
+        for &t in tokens {
+            self.feed(p, t);
+        }
+        self.logits.clone()
+    }
+
+    /// Logits from the most recent `feed`.
+    pub fn last_logits(&self) -> &[f32] {
+        &self.logits
+    }
+}
+
+/// `y = x · Wᵀ` for a single row (`W` is `[out, in]` row-major).
+fn row_matvec(y: &mut [f32], x: &[f32], w: &[f32], d_in: usize, d_out: usize) {
+    debug_assert_eq!(x.len(), d_in);
+    debug_assert_eq!(y.len(), d_out);
+    debug_assert_eq!(w.len(), d_in * d_out);
+    for (o, yo) in y.iter_mut().enumerate() {
+        *yo = dot(x, &w[o * d_in..(o + 1) * d_in]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forward::TrainContext;
+    use astro_prng::Rng;
+
+    #[test]
+    fn incremental_matches_batched_forward() {
+        let cfg = ModelConfig::tiny(24);
+        let p = Params::init(cfg, &mut Rng::seed_from(4));
+        let tokens: Vec<u32> = vec![3, 1, 4, 1, 5, 9, 2, 6];
+        // Batched forward.
+        let mut ctx = TrainContext::new(cfg, 1, tokens.len());
+        ctx.forward(&p, &tokens);
+        // Incremental.
+        let mut sess = InferenceSession::new(cfg);
+        for (i, &t) in tokens.iter().enumerate() {
+            let logits = sess.feed(&p, t).to_vec();
+            let batch_row = &ctx.logits[i * 24..(i + 1) * 24];
+            for (a, b) in logits.iter().zip(batch_row.iter()) {
+                assert!(
+                    (a - b).abs() < 1e-3,
+                    "pos {i}: incremental {a} vs batched {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reset_restarts_cleanly() {
+        let cfg = ModelConfig::tiny(16);
+        let p = Params::init(cfg, &mut Rng::seed_from(5));
+        let mut sess = InferenceSession::new(cfg);
+        let first = sess.feed(&p, 3).to_vec();
+        sess.feed(&p, 7);
+        sess.reset();
+        assert_eq!(sess.position(), 0);
+        let again = sess.feed(&p, 3).to_vec();
+        for (a, b) in first.iter().zip(again.iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn feed_prompt_returns_last_logits() {
+        let cfg = ModelConfig::tiny(16);
+        let p = Params::init(cfg, &mut Rng::seed_from(6));
+        let mut a = InferenceSession::new(cfg);
+        let via_prompt = a.feed_prompt(&p, &[1, 2, 3]);
+        let mut b = InferenceSession::new(cfg);
+        b.feed(&p, 1);
+        b.feed(&p, 2);
+        let step = b.feed(&p, 3).to_vec();
+        assert_eq!(via_prompt, step);
+        assert_eq!(a.position(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn overflow_panics() {
+        let cfg = ModelConfig::tiny(16);
+        let p = Params::init(cfg, &mut Rng::seed_from(7));
+        let mut sess = InferenceSession::new(cfg);
+        for _ in 0..=cfg.max_seq {
+            sess.feed(&p, 1);
+        }
+    }
+
+    #[test]
+    fn remaining_counts_down() {
+        let cfg = ModelConfig::tiny(16);
+        let p = Params::init(cfg, &mut Rng::seed_from(8));
+        let mut sess = InferenceSession::new(cfg);
+        let r0 = sess.remaining();
+        sess.feed(&p, 0);
+        assert_eq!(sess.remaining(), r0 - 1);
+    }
+}

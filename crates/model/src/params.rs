@@ -1,0 +1,242 @@
+//! Flat parameter storage with a computed layout.
+//!
+//! All weights live in one `Vec<f32>` so that (a) the AdamW optimizer is a
+//! single loop, (b) the data-parallel ring all-reduce gets one contiguous
+//! gradient buffer, and (c) checkpointing is a memcpy. The [`Layout`]
+//! struct maps named tensors to sub-ranges.
+//!
+//! Weight matrices are row-major `[out_features, in_features]`, applied as
+//! `y = x · Wᵀ` (`matmul_a_bt`), the orientation real LLaMA checkpoints
+//! use.
+
+use crate::ModelConfig;
+use astro_prng::Rng;
+
+/// Byte offsets (in f32 elements) of every tensor in the flat buffer.
+#[derive(Clone, Debug)]
+pub struct Layout {
+    /// Token embedding `[vocab, d_model]` (tied LM head).
+    pub embed: std::ops::Range<usize>,
+    /// Per-layer tensor ranges.
+    pub layers: Vec<LayerLayout>,
+    /// Final RMSNorm gain `[d_model]`.
+    pub final_norm: std::ops::Range<usize>,
+    /// Total element count.
+    pub total: usize,
+}
+
+/// Ranges for one transformer block.
+#[derive(Clone, Debug)]
+pub struct LayerLayout {
+    /// Attention RMSNorm gain `[d]`.
+    pub attn_norm: std::ops::Range<usize>,
+    /// Query projection `[d, d]`.
+    pub wq: std::ops::Range<usize>,
+    /// Key projection `[d, d]`.
+    pub wk: std::ops::Range<usize>,
+    /// Value projection `[d, d]`.
+    pub wv: std::ops::Range<usize>,
+    /// Output projection `[d, d]`.
+    pub wo: std::ops::Range<usize>,
+    /// FFN RMSNorm gain `[d]`.
+    pub ffn_norm: std::ops::Range<usize>,
+    /// SwiGLU gate projection `[ff, d]`.
+    pub w_gate: std::ops::Range<usize>,
+    /// SwiGLU up projection `[ff, d]`.
+    pub w_up: std::ops::Range<usize>,
+    /// SwiGLU down projection `[d, ff]`.
+    pub w_down: std::ops::Range<usize>,
+}
+
+impl Layout {
+    /// Compute the layout for a configuration.
+    pub fn new(cfg: &ModelConfig) -> Self {
+        let d = cfg.d_model;
+        let ff = cfg.d_ff;
+        let mut off = 0usize;
+        let mut take = |n: usize| {
+            let r = off..off + n;
+            off += n;
+            r
+        };
+        let embed = take(cfg.vocab_size * d);
+        let layers = (0..cfg.n_layers)
+            .map(|_| LayerLayout {
+                attn_norm: take(d),
+                wq: take(d * d),
+                wk: take(d * d),
+                wv: take(d * d),
+                wo: take(d * d),
+                ffn_norm: take(d),
+                w_gate: take(ff * d),
+                w_up: take(ff * d),
+                w_down: take(d * ff),
+            })
+            .collect();
+        let final_norm = take(d);
+        Layout {
+            embed,
+            layers,
+            final_norm,
+            total: off,
+        }
+    }
+}
+
+/// A model's parameters: configuration + flat weight buffer.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Architecture.
+    pub cfg: ModelConfig,
+    /// Tensor layout into `data`.
+    pub layout: Layout,
+    /// The flat weight buffer.
+    pub data: Vec<f32>,
+}
+
+impl Params {
+    /// Allocate zero-initialised parameters.
+    pub fn zeros(cfg: ModelConfig) -> Self {
+        cfg.validate().expect("invalid model config");
+        let layout = Layout::new(&cfg);
+        let data = vec![0.0; layout.total];
+        Params { cfg, layout, data }
+    }
+
+    /// GPT-2-style initialisation: normals scaled by `0.02`, residual
+    /// output projections (`wo`, `w_down`) additionally scaled by
+    /// `1/sqrt(2·n_layers)`, norm gains set to 1.
+    pub fn init(cfg: ModelConfig, rng: &mut Rng) -> Self {
+        let mut p = Params::zeros(cfg);
+        let std = 0.02f32;
+        let resid_scale = 1.0 / ((2 * cfg.n_layers) as f32).sqrt();
+        for v in &mut p.data[p.layout.embed.clone()] {
+            *v = rng.gauss_f32() * std;
+        }
+        let layers = p.layout.layers.clone();
+        for l in &layers {
+            for r in [&l.wq, &l.wk, &l.wv, &l.w_gate, &l.w_up] {
+                for v in &mut p.data[r.start..r.end] {
+                    *v = rng.gauss_f32() * std;
+                }
+            }
+            for r in [&l.wo, &l.w_down] {
+                for v in &mut p.data[r.start..r.end] {
+                    *v = rng.gauss_f32() * std * resid_scale;
+                }
+            }
+            for v in &mut p.data[l.attn_norm.clone()] {
+                *v = 1.0;
+            }
+            for v in &mut p.data[l.ffn_norm.clone()] {
+                *v = 1.0;
+            }
+        }
+        for v in &mut p.data[p.layout.final_norm.clone()] {
+            *v = 1.0;
+        }
+        p
+    }
+
+    /// Total parameter count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty (never, for a valid config).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// View a tensor range.
+    pub fn view(&self, r: &std::ops::Range<usize>) -> &[f32] {
+        &self.data[r.start..r.end]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tier;
+
+    #[test]
+    fn layout_is_contiguous_and_complete() {
+        let cfg = ModelConfig::tiny(64);
+        let l = Layout::new(&cfg);
+        let mut covered = vec![false; l.total];
+        let mut mark = |r: &std::ops::Range<usize>| {
+            for i in r.clone() {
+                assert!(!covered[i], "overlap at {i}");
+                covered[i] = true;
+            }
+        };
+        mark(&l.embed);
+        for layer in &l.layers {
+            for r in [
+                &layer.attn_norm,
+                &layer.wq,
+                &layer.wk,
+                &layer.wv,
+                &layer.wo,
+                &layer.ffn_norm,
+                &layer.w_gate,
+                &layer.w_up,
+                &layer.w_down,
+            ] {
+                mark(r);
+            }
+        }
+        mark(&l.final_norm);
+        assert!(covered.iter().all(|&c| c), "layout leaves gaps");
+    }
+
+    #[test]
+    fn param_count_formula() {
+        let cfg = ModelConfig::tiny(64);
+        let d = cfg.d_model;
+        let ff = cfg.d_ff;
+        let expect =
+            64 * d + cfg.n_layers * (2 * d + 4 * d * d + 2 * ff * d + d * ff) + d;
+        assert_eq!(cfg.param_count(), expect);
+    }
+
+    #[test]
+    fn init_is_deterministic() {
+        let cfg = ModelConfig::tiny(32);
+        let a = Params::init(cfg, &mut Rng::seed_from(5));
+        let b = Params::init(cfg, &mut Rng::seed_from(5));
+        assert_eq!(a.data, b.data);
+    }
+
+    #[test]
+    fn init_sets_norm_gains_to_one() {
+        let cfg = ModelConfig::tiny(32);
+        let p = Params::init(cfg, &mut Rng::seed_from(1));
+        assert!(p.view(&p.layout.final_norm.clone()).iter().all(|&g| g == 1.0));
+        for l in &p.layout.layers {
+            assert!(p.data[l.attn_norm.clone()].iter().all(|&g| g == 1.0));
+        }
+    }
+
+    #[test]
+    fn init_weights_are_small_and_nonzero() {
+        let cfg = ModelConfig::tier(Tier::S7b, 128);
+        let p = Params::init(cfg, &mut Rng::seed_from(2));
+        let embed = p.view(&p.layout.embed.clone());
+        let nonzero = embed.iter().filter(|&&v| v != 0.0).count();
+        assert!(nonzero > embed.len() / 2);
+        assert!(embed.iter().all(|&v| v.abs() < 0.5));
+    }
+
+    #[test]
+    fn residual_projections_scaled_down() {
+        let cfg = ModelConfig::tiny(32);
+        let p = Params::init(cfg, &mut Rng::seed_from(3));
+        let l = &p.layout.layers[0];
+        let var = |r: &std::ops::Range<usize>| {
+            let s = &p.data[r.start..r.end];
+            s.iter().map(|&v| (v as f64).powi(2)).sum::<f64>() / s.len() as f64
+        };
+        assert!(var(&l.wo) < var(&l.wq), "wo should have smaller variance");
+    }
+}

@@ -1,0 +1,141 @@
+//! Binary model checkpoints.
+//!
+//! Format (little-endian):
+//! ```text
+//! magic       u32 = 0x414d4c32 ("AML2")
+//! vocab_size  u32
+//! d_model     u32
+//! n_layers    u32
+//! n_heads     u32
+//! d_ff        u32
+//! max_seq     u32
+//! weights     f32 × param_count
+//! ```
+
+use crate::params::{Layout, Params};
+use crate::ModelConfig;
+
+const MAGIC: u32 = 0x414d_4c32;
+
+/// Serialise parameters (config + weights).
+pub fn params_to_bytes(p: &Params) -> Vec<u8> {
+    let mut out = Vec::with_capacity(28 + p.data.len() * 4);
+    for v in [
+        MAGIC,
+        p.cfg.vocab_size as u32,
+        p.cfg.d_model as u32,
+        p.cfg.n_layers as u32,
+        p.cfg.n_heads as u32,
+        p.cfg.d_ff as u32,
+        p.cfg.max_seq as u32,
+    ] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    for &w in &p.data {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+/// Deserialise parameters from [`params_to_bytes`] output.
+pub fn params_from_bytes(bytes: &[u8]) -> Result<Params, String> {
+    if bytes.len() < 28 {
+        return Err("checkpoint too short".to_string());
+    }
+    let word = |i: usize| u32::from_le_bytes(bytes[i * 4..i * 4 + 4].try_into().expect("sliced"));
+    if word(0) != MAGIC {
+        return Err(format!("bad checkpoint magic {:#x}", word(0)));
+    }
+    let cfg = ModelConfig {
+        vocab_size: word(1) as usize,
+        d_model: word(2) as usize,
+        n_layers: word(3) as usize,
+        n_heads: word(4) as usize,
+        d_ff: word(5) as usize,
+        max_seq: word(6) as usize,
+    };
+    cfg.validate()?;
+    let layout = Layout::new(&cfg);
+    let want = 28 + layout.total * 4;
+    if bytes.len() != want {
+        return Err(format!(
+            "checkpoint length {} does not match config (want {want})",
+            bytes.len()
+        ));
+    }
+    let mut data = Vec::with_capacity(layout.total);
+    for i in 0..layout.total {
+        let off = 28 + i * 4;
+        data.push(f32::from_le_bytes(
+            bytes[off..off + 4].try_into().expect("sliced"),
+        ));
+    }
+    Ok(Params { cfg, layout, data })
+}
+
+/// Write a checkpoint to a file.
+pub fn save_checkpoint(p: &Params, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, params_to_bytes(p))
+}
+
+/// Load a checkpoint from a file.
+pub fn load_checkpoint(path: &std::path::Path) -> Result<Params, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    params_from_bytes(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astro_prng::Rng;
+
+    #[test]
+    fn round_trip_exact() {
+        let cfg = ModelConfig::tiny(32);
+        let p = Params::init(cfg, &mut Rng::seed_from(1));
+        let q = params_from_bytes(&params_to_bytes(&p)).unwrap();
+        assert_eq!(p.cfg, q.cfg);
+        assert_eq!(p.data, q.data);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let cfg = ModelConfig::tiny(32);
+        let p = Params::init(cfg, &mut Rng::seed_from(2));
+        let mut b = params_to_bytes(&p);
+        b[0] ^= 0xff;
+        assert!(params_from_bytes(&b).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let cfg = ModelConfig::tiny(32);
+        let p = Params::init(cfg, &mut Rng::seed_from(3));
+        let b = params_to_bytes(&p);
+        assert!(params_from_bytes(&b[..b.len() - 4]).is_err());
+        assert!(params_from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_config() {
+        let cfg = ModelConfig::tiny(32);
+        let p = Params::init(cfg, &mut Rng::seed_from(4));
+        let mut b = params_to_bytes(&p);
+        // Corrupt n_heads so d_model % n_heads != 0.
+        b[16..20].copy_from_slice(&5u32.to_le_bytes());
+        assert!(params_from_bytes(&b).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let cfg = ModelConfig::tiny(16);
+        let p = Params::init(cfg, &mut Rng::seed_from(5));
+        let dir = std::env::temp_dir().join("astro_model_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.bin");
+        save_checkpoint(&p, &path).unwrap();
+        let q = load_checkpoint(&path).unwrap();
+        assert_eq!(p.data, q.data);
+        let _ = std::fs::remove_file(&path);
+    }
+}

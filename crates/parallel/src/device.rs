@@ -1,0 +1,366 @@
+//! Simulated multi-device data-parallel training.
+//!
+//! The paper's CPT runs are data-parallel over many A100s: each GPU holds a
+//! model replica, computes gradients on its shard of the batch, and the
+//! gradients are averaged with an all-reduce. [`DeviceGrid`] reproduces that
+//! structure with threads as devices and a **ring all-reduce** over
+//! shared-memory mailboxes — the same `2·(n−1)`-step schedule used by NCCL,
+//! so communication-volume accounting ([`ReduceStats`]) is faithful.
+//!
+//! The grid is deliberately synchronous (bulk-synchronous parallel): one
+//! `step` = local work on every device, then a collective. Determinism is
+//! preserved because each chunk of the reduced buffer is combined in ring
+//! order, which is fixed by the topology, not by thread timing.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+/// Statistics from one all-reduce collective.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ReduceStats {
+    /// Number of devices participating.
+    pub devices: usize,
+    /// Elements in the reduced buffer.
+    pub elements: usize,
+    /// Total f32 elements moved between devices (both phases).
+    pub elements_communicated: usize,
+}
+
+/// One mailbox slot used to pass a chunk between ring neighbours.
+struct Mailbox {
+    slot: Mutex<Option<Vec<f32>>>,
+    ready: Condvar,
+    taken: Condvar,
+}
+
+impl Mailbox {
+    fn new() -> Self {
+        Mailbox {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+            taken: Condvar::new(),
+        }
+    }
+
+    fn put(&self, v: Vec<f32>) {
+        let mut slot = self.slot.lock();
+        while slot.is_some() {
+            self.taken.wait(&mut slot);
+        }
+        *slot = Some(v);
+        self.ready.notify_one();
+    }
+
+    fn take(&self) -> Vec<f32> {
+        let mut slot = self.slot.lock();
+        while slot.is_none() {
+            self.ready.wait(&mut slot);
+        }
+        let v = slot.take().expect("slot checked non-empty");
+        self.taken.notify_one();
+        v
+    }
+}
+
+/// Average `buffers` (one per device, all the same length) in place using a
+/// ring all-reduce executed on one thread per device.
+///
+/// After the call every buffer contains the element-wise mean of the
+/// originals. Returns communication statistics.
+///
+/// # Panics
+/// Panics if the buffers have mismatched lengths or `buffers` is empty.
+pub fn ring_all_reduce(buffers: &mut [&mut [f32]]) -> ReduceStats {
+    let n = buffers.len();
+    assert!(n > 0, "ring_all_reduce requires at least one device");
+    let len = buffers[0].len();
+    assert!(
+        buffers.iter().all(|b| b.len() == len),
+        "ring_all_reduce buffers must have equal lengths"
+    );
+    if n == 1 {
+        return ReduceStats {
+            devices: 1,
+            elements: len,
+            elements_communicated: 0,
+        };
+    }
+    if len == 0 {
+        return ReduceStats {
+            devices: n,
+            elements: 0,
+            elements_communicated: 0,
+        };
+    }
+
+    // Chunk boundaries: chunk c covers [starts[c], starts[c+1]).
+    let base = len / n;
+    let rem = len % n;
+    let mut starts = Vec::with_capacity(n + 1);
+    let mut acc = 0;
+    starts.push(0);
+    for c in 0..n {
+        acc += base + usize::from(c < rem);
+        starts.push(acc);
+    }
+
+    // Mailbox m[i] carries data from device i to device (i+1) % n.
+    let mailboxes: Vec<Arc<Mailbox>> = (0..n).map(|_| Arc::new(Mailbox::new())).collect();
+    let mut communicated = 0usize;
+
+    crossbeam::scope(|s| {
+        for (rank, buf) in buffers.iter_mut().enumerate() {
+            let send_box = Arc::clone(&mailboxes[rank]);
+            let recv_box = Arc::clone(&mailboxes[(rank + n - 1) % n]);
+            let starts = &starts;
+            s.spawn(move |_| {
+                // Phase 1: reduce-scatter. In step k, device r sends chunk
+                // (r - k) mod n and accumulates the incoming chunk into
+                // (r - k - 1) mod n. After n-1 steps, device r owns the
+                // fully reduced chunk (r + 1) mod n.
+                for k in 0..(n - 1) {
+                    let send_c = (rank + n - k) % n;
+                    let recv_c = (rank + n - k - 1) % n;
+                    let payload = buf[starts[send_c]..starts[send_c + 1]].to_vec();
+                    send_box.put(payload);
+                    let incoming = recv_box.take();
+                    let dst = &mut buf[starts[recv_c]..starts[recv_c + 1]];
+                    debug_assert_eq!(incoming.len(), dst.len());
+                    for (d, x) in dst.iter_mut().zip(incoming.iter()) {
+                        *d += x;
+                    }
+                }
+                // Phase 2: all-gather. Device r starts by sending its owned
+                // chunk (r + 1) mod n; each received chunk is copied and
+                // forwarded.
+                for k in 0..(n - 1) {
+                    let send_c = (rank + 1 + n - k) % n;
+                    let recv_c = (rank + n - k) % n;
+                    let payload = buf[starts[send_c]..starts[send_c + 1]].to_vec();
+                    send_box.put(payload);
+                    let incoming = recv_box.take();
+                    let dst = &mut buf[starts[recv_c]..starts[recv_c + 1]];
+                    dst.copy_from_slice(&incoming);
+                }
+                // Convert the sum into a mean.
+                let inv = 1.0 / n as f32;
+                for x in buf.iter_mut() {
+                    *x *= inv;
+                }
+            });
+        }
+    })
+    .expect("all-reduce device thread panicked");
+
+    // Each device sends its full buffer twice over the collective
+    // (asymptotically 2·len·(n−1)/n per device).
+    communicated += 2 * (n - 1) * len;
+
+    ReduceStats {
+        devices: n,
+        elements: len,
+        elements_communicated: communicated,
+    }
+}
+
+/// A grid of simulated devices for data-parallel training.
+///
+/// Each device holds caller-provided state `D` (a model replica plus
+/// scratch). [`DeviceGrid::step`] runs a closure on every device in
+/// parallel, collects each device's gradient buffer reference, and averages
+/// them with [`ring_all_reduce`].
+pub struct DeviceGrid<D> {
+    devices: Vec<D>,
+    stats: ReduceStats,
+}
+
+impl<D: Send> DeviceGrid<D> {
+    /// Build a grid from per-device state.
+    pub fn new(devices: Vec<D>) -> Self {
+        assert!(!devices.is_empty(), "DeviceGrid requires at least one device");
+        DeviceGrid {
+            devices,
+            stats: ReduceStats::default(),
+        }
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// True if the grid has exactly zero devices (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Immutable access to device state (e.g. to read the replica on rank
+    /// 0 after training).
+    pub fn device(&self, rank: usize) -> &D {
+        &self.devices[rank]
+    }
+
+    /// Mutable access to a single device's state.
+    pub fn device_mut(&mut self, rank: usize) -> &mut D {
+        &mut self.devices[rank]
+    }
+
+    /// Consume the grid and return the device states.
+    pub fn into_devices(self) -> Vec<D> {
+        self.devices
+    }
+
+    /// Cumulative communication statistics of the last collective.
+    pub fn last_reduce_stats(&self) -> ReduceStats {
+        self.stats
+    }
+
+    /// Run one bulk-synchronous step: `local` executes on every device in
+    /// parallel (one thread per device), then `grads` projects out each
+    /// device's gradient buffer and the buffers are ring-all-reduced to
+    /// their mean.
+    pub fn step<L, G>(&mut self, local: L, grads: G)
+    where
+        L: Fn(usize, &mut D) + Sync,
+        D: Send,
+        G: Fn(&mut D) -> &mut [f32] + Sync,
+    {
+        // Local compute phase.
+        crossbeam::scope(|s| {
+            for (rank, dev) in self.devices.iter_mut().enumerate() {
+                let local = &local;
+                s.spawn(move |_| local(rank, dev));
+            }
+        })
+        .expect("device step panicked");
+        // Collective phase.
+        let mut bufs: Vec<&mut [f32]> = self.devices.iter_mut().map(|d| grads(d)).collect();
+        self.stats = ring_all_reduce(&mut bufs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_mean(inputs: &[Vec<f32>]) -> Vec<f32> {
+        let n = inputs.len() as f32;
+        let len = inputs[0].len();
+        (0..len)
+            .map(|i| inputs.iter().map(|b| b[i]).sum::<f32>() / n)
+            .collect()
+    }
+
+    #[test]
+    fn all_reduce_two_devices() {
+        let inputs = vec![vec![1.0, 2.0, 3.0, 4.0, 5.0], vec![5.0, 4.0, 3.0, 2.0, 1.0]];
+        let mut bufs: Vec<Vec<f32>> = inputs.clone();
+        let expect = reference_mean(&inputs);
+        let mut refs: Vec<&mut [f32]> = bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
+        let stats = ring_all_reduce(&mut refs);
+        for b in &bufs {
+            for (got, want) in b.iter().zip(expect.iter()) {
+                assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+            }
+        }
+        assert_eq!(stats.devices, 2);
+        assert_eq!(stats.elements, 5);
+        assert!(stats.elements_communicated > 0);
+    }
+
+    #[test]
+    fn all_reduce_many_devices_uneven_chunks() {
+        // len=10 across 4 devices: chunks 3,3,2,2 — exercises remainder
+        // handling.
+        let inputs: Vec<Vec<f32>> = (0..4)
+            .map(|d| (0..10).map(|i| (d * 10 + i) as f32).collect())
+            .collect();
+        let expect = reference_mean(&inputs);
+        let mut bufs = inputs.clone();
+        let mut refs: Vec<&mut [f32]> = bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
+        ring_all_reduce(&mut refs);
+        for b in &bufs {
+            for (got, want) in b.iter().zip(expect.iter()) {
+                assert!((got - want).abs() < 1e-5, "{got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_single_device_is_identity() {
+        let mut buf = vec![1.0f32, 2.0, 3.0];
+        let mut refs: Vec<&mut [f32]> = vec![buf.as_mut_slice()];
+        let stats = ring_all_reduce(&mut refs);
+        assert_eq!(buf, vec![1.0, 2.0, 3.0]);
+        assert_eq!(stats.elements_communicated, 0);
+    }
+
+    #[test]
+    fn all_reduce_len_smaller_than_devices() {
+        // 3 devices, 2 elements: one chunk is empty.
+        let inputs = vec![vec![3.0, 0.0], vec![0.0, 3.0], vec![3.0, 3.0]];
+        let expect = reference_mean(&inputs);
+        let mut bufs = inputs.clone();
+        let mut refs: Vec<&mut [f32]> = bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
+        ring_all_reduce(&mut refs);
+        for b in &bufs {
+            for (got, want) in b.iter().zip(expect.iter()) {
+                assert!((got - want).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_empty_buffers() {
+        let mut a: Vec<f32> = vec![];
+        let mut b: Vec<f32> = vec![];
+        let mut refs: Vec<&mut [f32]> = vec![a.as_mut_slice(), b.as_mut_slice()];
+        let stats = ring_all_reduce(&mut refs);
+        assert_eq!(stats.elements, 0);
+    }
+
+    struct Dev {
+        grad: Vec<f32>,
+        rank_seen: usize,
+    }
+
+    #[test]
+    fn grid_step_runs_local_then_reduces() {
+        let devices = (0..3)
+            .map(|_| Dev {
+                grad: vec![0.0; 6],
+                rank_seen: usize::MAX,
+            })
+            .collect();
+        let mut grid = DeviceGrid::new(devices);
+        grid.step(
+            |rank, d| {
+                d.rank_seen = rank;
+                for (i, g) in d.grad.iter_mut().enumerate() {
+                    *g = (rank * 6 + i) as f32;
+                }
+            },
+            |d| d.grad.as_mut_slice(),
+        );
+        // mean over ranks of (rank*6 + i) = 6*mean(rank) + i = 6 + i
+        for rank in 0..3 {
+            let d = grid.device(rank);
+            assert_eq!(d.rank_seen, rank);
+            for (i, g) in d.grad.iter().enumerate() {
+                let want = 6.0 + i as f32;
+                assert!((g - want).abs() < 1e-5, "rank {rank} idx {i}: {g} vs {want}");
+            }
+        }
+        assert_eq!(grid.last_reduce_stats().devices, 3);
+    }
+
+    #[test]
+    fn grid_accessors() {
+        let mut grid = DeviceGrid::new(vec![1u32, 2, 3]);
+        assert_eq!(grid.len(), 3);
+        assert!(!grid.is_empty());
+        *grid.device_mut(1) = 20;
+        assert_eq!(*grid.device(1), 20);
+        assert_eq!(grid.into_devices(), vec![1, 20, 3]);
+    }
+}

@@ -1,0 +1,168 @@
+//! A fixed-size worker thread pool built on crossbeam channels.
+//!
+//! The pool owns long-lived worker threads that receive boxed jobs from an
+//! unbounded channel. It is used where scoped helpers are awkward — e.g.
+//! pipelined corpus generation while the trainer consumes batches.
+//!
+//! Shutdown is by dropping the pool: the channel disconnects and workers
+//! exit after draining outstanding jobs. `join` waits for quiescence via a
+//! pending-job counter + condvar, the pattern recommended in *Rust Atomics
+//! and Locks* (ch. 1, condition variables).
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    pending: Mutex<usize>,
+    quiescent: Condvar,
+}
+
+/// A fixed-size worker pool.
+pub struct ThreadPool {
+    sender: Option<crossbeam::channel::Sender<Job>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl ThreadPool {
+    /// Spawn a pool with `size` workers (`size` is clamped to at least 1).
+    pub fn new(size: usize) -> Self {
+        let size = size.max(1);
+        let (sender, receiver) = crossbeam::channel::unbounded::<Job>();
+        let shared = Arc::new(Shared {
+            pending: Mutex::new(0),
+            quiescent: Condvar::new(),
+        });
+        let workers = (0..size)
+            .map(|i| {
+                let rx = receiver.clone();
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("astro-pool-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                            let mut pending = shared.pending.lock();
+                            *pending -= 1;
+                            if *pending == 0 {
+                                shared.quiescent.notify_all();
+                            }
+                        }
+                    })
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            sender: Some(sender),
+            workers,
+            shared,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submit a job for asynchronous execution.
+    pub fn execute<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        {
+            let mut pending = self.shared.pending.lock();
+            *pending += 1;
+        }
+        self.sender
+            .as_ref()
+            .expect("pool already shut down")
+            .send(Box::new(job))
+            .expect("pool workers have exited");
+    }
+
+    /// Block until every submitted job has completed.
+    pub fn join(&self) {
+        let mut pending = self.shared.pending.lock();
+        while *pending > 0 {
+            self.shared.quiescent.wait(&mut pending);
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Disconnect the channel so workers exit after draining.
+        self.sender.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.join();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn join_on_idle_pool_returns() {
+        let pool = ThreadPool::new(2);
+        pool.join();
+    }
+
+    #[test]
+    fn size_clamped_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.size(), 1);
+    }
+
+    #[test]
+    fn drop_waits_for_outstanding_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(2);
+            for _ in 0..10 {
+                let c = Arc::clone(&counter);
+                pool.execute(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            // pool dropped here
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn jobs_can_submit_results_through_channels() {
+        let pool = ThreadPool::new(3);
+        let (tx, rx) = crossbeam::channel::unbounded();
+        for i in 0..20u64 {
+            let tx = tx.clone();
+            pool.execute(move || {
+                tx.send(i * 2).unwrap();
+            });
+        }
+        drop(tx);
+        pool.join();
+        let mut got: Vec<u64> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..20).map(|i| i * 2).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,194 @@
+//! Reusable discrete distributions.
+//!
+//! The synthetic world samples entities and facts with highly skewed
+//! frequencies (a few famous objects appear in many papers, most appear in
+//! few) — a Zipf distribution — and samples categorical choices repeatedly
+//! from fixed weight vectors, for which a precomputed cumulative table
+//! beats rescanning the weights.
+
+use crate::Rng;
+
+/// A categorical distribution with a precomputed cumulative table.
+///
+/// Sampling is `O(log n)` via binary search, which matters when the same
+/// distribution is sampled millions of times during corpus generation.
+#[derive(Clone, Debug)]
+pub struct Categorical {
+    cumulative: Vec<f64>,
+}
+
+impl Categorical {
+    /// Build from unnormalised non-negative weights.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "Categorical requires at least one weight");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "invalid weight {w}");
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "Categorical weights sum to zero");
+        // Normalise so the final entry is exactly 1.0.
+        for c in &mut cumulative {
+            *c /= acc;
+        }
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Categorical { cumulative }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True when there is exactly one category (sampling is trivial).
+    pub fn is_empty(&self) -> bool {
+        false // construction guarantees at least one category
+    }
+
+    /// Draw a category index.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let u = rng.f64();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cumulative weights are finite"))
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+/// A Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P(k) ∝ k^(-s)`.
+///
+/// Used to give the synthetic world a realistic popularity skew: a handful
+/// of entities ("the M87 analogue") dominate the literature while a long
+/// tail appears rarely — exactly the regime where CPT either reinforces or
+/// erodes knowledge.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    table: Categorical,
+}
+
+impl Zipf {
+    /// Build a Zipf distribution over `n` ranks with exponent `s > 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf requires n > 0");
+        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be non-negative");
+        let weights: Vec<f64> = (1..=n).map(|k| (k as f64).powf(-s)).collect();
+        Zipf {
+            table: Categorical::new(&weights),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Draw a 0-based rank (0 is the most popular).
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        self.table.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categorical_single_category() {
+        let c = Categorical::new(&[3.0]);
+        let mut r = Rng::seed_from(0);
+        for _ in 0..100 {
+            assert_eq!(c.sample(&mut r), 0);
+        }
+    }
+
+    #[test]
+    fn categorical_zero_weight_never_sampled() {
+        let c = Categorical::new(&[1.0, 0.0, 1.0]);
+        let mut r = Rng::seed_from(1);
+        for _ in 0..2000 {
+            assert_ne!(c.sample(&mut r), 1);
+        }
+    }
+
+    #[test]
+    fn categorical_matches_weights() {
+        let c = Categorical::new(&[1.0, 2.0, 1.0]);
+        let mut r = Rng::seed_from(2);
+        let n = 40_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[c.sample(&mut r)] += 1;
+        }
+        let f1 = counts[1] as f64 / n as f64;
+        assert!((f1 - 0.5).abs() < 0.02, "middle fraction {f1}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn categorical_rejects_empty() {
+        Categorical::new(&[]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn categorical_rejects_negative() {
+        Categorical::new(&[1.0, -0.5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn categorical_rejects_all_zero() {
+        Categorical::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn zipf_rank_zero_most_popular() {
+        let z = Zipf::new(50, 1.2);
+        let mut r = Rng::seed_from(3);
+        let n = 30_000;
+        let mut counts = vec![0usize; 50];
+        for _ in 0..n {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[49]);
+    }
+
+    #[test]
+    fn zipf_s_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        let mut r = Rng::seed_from(4);
+        let n = 40_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            counts[z.sample(&mut r)] += 1;
+        }
+        for &c in &counts {
+            let f = c as f64 / n as f64;
+            assert!((f - 0.25).abs() < 0.02, "uniform fraction {f}");
+        }
+    }
+
+    #[test]
+    fn zipf_covers_all_ranks() {
+        let z = Zipf::new(8, 1.0);
+        let mut r = Rng::seed_from(5);
+        let mut seen = [false; 8];
+        for _ in 0..5000 {
+            seen[z.sample(&mut r)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,69 @@
+//! SplitMix64: a tiny, fast 64-bit generator used for seed expansion.
+//!
+//! SplitMix64 (Steele, Lea & Flood 2014) has a single 64-bit word of state
+//! and an equidistributed output function, which makes it ideal for turning
+//! an arbitrary user seed into the four non-zero state words required by
+//! `xoshiro256**`, and for hashing substream labels into fresh seeds.
+
+/// A SplitMix64 generator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator with the given state.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Produce the next 64-bit output and advance the state.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference outputs from the public-domain C implementation by
+    /// Sebastiano Vigna (seed = 1234567).
+    #[test]
+    fn matches_reference_vector() {
+        let mut sm = SplitMix64::new(1234567);
+        let expected: [u64; 5] = [
+            6457827717110365317,
+            3203168211198807973,
+            9817491932198370423,
+            4593380528125082431,
+            16408922859458223821,
+        ];
+        for &e in &expected {
+            assert_eq!(sm.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_fine() {
+        let mut sm = SplitMix64::new(0);
+        let a = sm.next_u64();
+        let b = sm.next_u64();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

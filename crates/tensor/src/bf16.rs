@@ -1,0 +1,112 @@
+//! bf16 (bfloat16) emulation.
+//!
+//! The paper trains in bf16. We have no bf16 hardware, so mixed-precision
+//! training is emulated by rounding f32 values to the nearest bf16
+//! representable value (round-to-nearest-even on the truncated mantissa
+//! bits) after each weight update. This reproduces bf16's ~8-bit mantissa
+//! quantisation noise while keeping f32 arithmetic.
+
+/// Round an `f32` to the nearest bf16-representable value and return it as
+/// `f32`. Uses round-to-nearest-even, matching hardware bf16 conversion.
+/// NaN payloads are normalised to a quiet NaN; infinities pass through.
+#[inline]
+pub fn bf16_round(x: f32) -> f32 {
+    let bits = x.to_bits();
+    if x.is_nan() {
+        return f32::from_bits(0x7fc0_0000);
+    }
+    // Add rounding bias: 0x7fff plus the LSB of the retained part
+    // (round-half-to-even).
+    let lsb = (bits >> 16) & 1;
+    let rounded = bits.wrapping_add(0x7fff + lsb) & 0xffff_0000;
+    f32::from_bits(rounded)
+}
+
+/// Round every element of a slice to bf16 precision in place.
+pub fn bf16_round_slice(xs: &mut [f32]) {
+    for x in xs.iter_mut() {
+        *x = bf16_round(*x);
+    }
+}
+
+/// Pack an `f32` into the 16-bit bf16 representation (for checkpoints).
+#[inline]
+pub fn bf16_bits(x: f32) -> u16 {
+    (bf16_round(x).to_bits() >> 16) as u16
+}
+
+/// Unpack 16-bit bf16 bits into an `f32`.
+#[inline]
+pub fn bf16_from_bits(bits: u16) -> f32 {
+    f32::from_bits((bits as u32) << 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_values_unchanged() {
+        // Powers of two and small integers are exactly representable.
+        for v in [0.0f32, 1.0, -1.0, 2.0, 0.5, -0.25, 256.0] {
+            assert_eq!(bf16_round(v), v);
+        }
+    }
+
+    #[test]
+    fn rounding_error_bounded() {
+        // bf16 has 8 mantissa bits → relative error ≤ 2^-8 = 1/256.
+        let mut v = 0.1f32;
+        for _ in 0..1000 {
+            let r = bf16_round(v);
+            let rel = ((r - v) / v).abs();
+            assert!(rel <= 1.0 / 256.0 + 1e-7, "v={v} r={r} rel={rel}");
+            v *= 1.01;
+        }
+    }
+
+    #[test]
+    fn idempotent() {
+        for i in 0..1000 {
+            let v = (i as f32 - 500.0) * 0.37;
+            let once = bf16_round(v);
+            assert_eq!(bf16_round(once), once);
+        }
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // A value exactly halfway between two bf16 values must round to the
+        // one with an even retained mantissa LSB.
+        let lo = f32::from_bits(0x3f80_0000); // 1.0
+        let hi = f32::from_bits(0x3f81_0000); // next bf16 after 1.0
+        let mid = f32::from_bits(0x3f80_8000); // exactly halfway
+        let r = bf16_round(mid);
+        assert!(r == lo || r == hi);
+        assert_eq!(r, lo, "half-to-even keeps the even mantissa (…00)");
+    }
+
+    #[test]
+    fn specials() {
+        assert!(bf16_round(f32::NAN).is_nan());
+        assert_eq!(bf16_round(f32::INFINITY), f32::INFINITY);
+        assert_eq!(bf16_round(f32::NEG_INFINITY), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        for v in [0.0f32, 1.5, -3.25, 100.0, -0.007812] {
+            let b = bf16_bits(v);
+            let back = bf16_from_bits(b);
+            assert_eq!(back, bf16_round(v));
+        }
+    }
+
+    #[test]
+    fn slice_rounding() {
+        let mut xs = vec![0.1f32, 0.2, 0.3];
+        let want: Vec<f32> = xs.iter().map(|&x| bf16_round(x)).collect();
+        bf16_round_slice(&mut xs);
+        assert_eq!(xs, want);
+    }
+}

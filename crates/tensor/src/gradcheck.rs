@@ -1,0 +1,103 @@
+//! Finite-difference gradient checking.
+//!
+//! Used by `astro-model`'s tests to validate every manual backward pass
+//! against central differences. Kept in the library (not `#[cfg(test)]`) so
+//! downstream crates can reuse it in their own test suites.
+
+/// Result of a gradient check: worst absolute and relative deviation.
+#[derive(Clone, Copy, Debug)]
+pub struct GradCheckReport {
+    /// Maximum |analytic − numeric|.
+    pub max_abs_err: f32,
+    /// Maximum |analytic − numeric| / (|numeric| + 1).
+    pub max_rel_err: f32,
+    /// Index of the worst parameter.
+    pub worst_index: usize,
+}
+
+impl GradCheckReport {
+    /// True when both error measures are below `tol`.
+    pub fn passes(&self, tol: f32) -> bool {
+        self.max_abs_err < tol || self.max_rel_err < tol
+    }
+}
+
+/// Compare `analytic` gradients against central finite differences of
+/// `loss` with step `h`, perturbing `params` one element at a time.
+///
+/// `loss` must be a pure function of `params`.
+pub fn check_gradient<F>(
+    params: &mut [f32],
+    analytic: &[f32],
+    h: f32,
+    mut loss: F,
+) -> GradCheckReport
+where
+    F: FnMut(&[f32]) -> f32,
+{
+    assert_eq!(params.len(), analytic.len());
+    let mut report = GradCheckReport {
+        max_abs_err: 0.0,
+        max_rel_err: 0.0,
+        worst_index: 0,
+    };
+    for i in 0..params.len() {
+        let orig = params[i];
+        params[i] = orig + h;
+        let fp = loss(params);
+        params[i] = orig - h;
+        let fm = loss(params);
+        params[i] = orig;
+        let numeric = (fp - fm) / (2.0 * h);
+        let abs = (analytic[i] - numeric).abs();
+        let rel = abs / (numeric.abs() + 1.0);
+        if abs > report.max_abs_err {
+            report.max_abs_err = abs;
+            report.worst_index = i;
+        }
+        report.max_rel_err = report.max_rel_err.max(rel);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_gradient_checks() {
+        // loss = Σ (x_i − i)², gradient = 2(x_i − i)
+        let mut params: Vec<f32> = vec![0.5, -1.0, 2.0];
+        let analytic: Vec<f32> = params
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| 2.0 * (x - i as f32))
+            .collect();
+        let report = check_gradient(&mut params, &analytic, 1e-3, |p| {
+            p.iter()
+                .enumerate()
+                .map(|(i, &x)| (x - i as f32) * (x - i as f32))
+                .sum()
+        });
+        assert!(report.passes(1e-2), "{report:?}");
+    }
+
+    #[test]
+    fn wrong_gradient_fails() {
+        let mut params = vec![1.0f32, 2.0];
+        let wrong = vec![0.0f32, 0.0];
+        let report = check_gradient(&mut params, &wrong, 1e-3, |p| {
+            p.iter().map(|&x| x * x).sum()
+        });
+        assert!(!report.passes(1e-2));
+        assert!(report.max_abs_err > 1.0);
+    }
+
+    #[test]
+    fn params_restored_after_check() {
+        let mut params = vec![0.3f32, 0.7];
+        let analytic = vec![0.0f32; 2];
+        let _ = check_gradient(&mut params, &analytic, 1e-3, |_| 0.0);
+        assert_eq!(params, vec![0.3, 0.7]);
+    }
+}

@@ -1,0 +1,436 @@
+//! Fused element-wise and normalisation kernels with explicit backward
+//! passes.
+//!
+//! Each forward kernel has a matching `*_backward` that consumes the saved
+//! forward activations; gradients *accumulate* into `dx` buffers so a value
+//! used by several consumers collects all contributions.
+
+/// Numerically stable softmax over each row of an `m×n` matrix, in place.
+pub fn softmax_rows(x: &mut [f32], m: usize, n: usize) {
+    assert_eq!(x.len(), m * n);
+    for row in x.chunks_exact_mut(n) {
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// Backward of row-softmax: given the forward output `y` and upstream
+/// gradient `dy`, accumulate `dx += y ⊙ (dy − (dy·y))` row-wise.
+pub fn softmax_rows_backward(dx: &mut [f32], y: &[f32], dy: &[f32], m: usize, n: usize) {
+    assert_eq!(dx.len(), m * n);
+    assert_eq!(y.len(), m * n);
+    assert_eq!(dy.len(), m * n);
+    for i in 0..m {
+        let yr = &y[i * n..(i + 1) * n];
+        let dyr = &dy[i * n..(i + 1) * n];
+        let dot: f32 = yr.iter().zip(dyr.iter()).map(|(a, b)| a * b).sum();
+        let dxr = &mut dx[i * n..(i + 1) * n];
+        for ((d, &yv), &dyv) in dxr.iter_mut().zip(yr.iter()).zip(dyr.iter()) {
+            *d += yv * (dyv - dot);
+        }
+    }
+}
+
+/// Log-sum-exp of a slice (stable).
+pub fn log_sum_exp(x: &[f32]) -> f32 {
+    let max = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    if max.is_infinite() {
+        return max;
+    }
+    let s: f32 = x.iter().map(|&v| (v - max).exp()).sum();
+    max + s.ln()
+}
+
+/// Mean cross-entropy over rows of `logits` (`m×n`) against integer
+/// `targets`, skipping positions where `mask` is false.
+///
+/// Also writes the *gradient of the mean loss w.r.t. the logits* into
+/// `dlogits` (overwritten, not accumulated): `softmax(logits) − onehot`,
+/// scaled by `1/active`, zero at masked positions. Returns
+/// `(mean_loss, active_count)`; when no position is active the loss is 0.
+pub fn cross_entropy_rows(
+    dlogits: &mut [f32],
+    logits: &[f32],
+    targets: &[usize],
+    mask: &[bool],
+    m: usize,
+    n: usize,
+) -> (f32, usize) {
+    assert_eq!(logits.len(), m * n);
+    assert_eq!(dlogits.len(), m * n);
+    assert_eq!(targets.len(), m);
+    assert_eq!(mask.len(), m);
+    let active = mask.iter().filter(|&&b| b).count();
+    dlogits.fill(0.0);
+    if active == 0 {
+        return (0.0, 0);
+    }
+    let inv = 1.0 / active as f32;
+    let mut loss = 0.0f64;
+    for i in 0..m {
+        if !mask[i] {
+            continue;
+        }
+        let row = &logits[i * n..(i + 1) * n];
+        let t = targets[i];
+        debug_assert!(t < n, "target {t} out of vocab {n}");
+        let lse = log_sum_exp(row);
+        loss += (lse - row[t]) as f64;
+        let drow = &mut dlogits[i * n..(i + 1) * n];
+        for (j, (d, &l)) in drow.iter_mut().zip(row.iter()).enumerate() {
+            let p = (l - lse).exp();
+            *d = (p - if j == t { 1.0 } else { 0.0 }) * inv;
+        }
+    }
+    ((loss / active as f64) as f32, active)
+}
+
+/// RMSNorm forward: `y = x / rms(x) * g` per row, where
+/// `rms(x) = sqrt(mean(x²) + eps)`. Returns nothing; per-row inverse RMS
+/// values are written to `inv_rms` (length `m`) for the backward pass.
+pub fn rmsnorm_rows(
+    y: &mut [f32],
+    inv_rms: &mut [f32],
+    x: &[f32],
+    g: &[f32],
+    m: usize,
+    n: usize,
+    eps: f32,
+) {
+    assert_eq!(x.len(), m * n);
+    assert_eq!(y.len(), m * n);
+    assert_eq!(g.len(), n);
+    assert_eq!(inv_rms.len(), m);
+    for i in 0..m {
+        let xr = &x[i * n..(i + 1) * n];
+        let ms: f32 = xr.iter().map(|v| v * v).sum::<f32>() / n as f32;
+        let inv = 1.0 / (ms + eps).sqrt();
+        inv_rms[i] = inv;
+        let yr = &mut y[i * n..(i + 1) * n];
+        for ((yv, &xv), &gv) in yr.iter_mut().zip(xr.iter()).zip(g.iter()) {
+            *yv = xv * inv * gv;
+        }
+    }
+}
+
+/// RMSNorm backward. Accumulates into `dx` and `dg`.
+///
+/// With `x̂ = x·inv`, `y = x̂ ⊙ g`:
+/// `dg += Σ_rows dy ⊙ x̂`,
+/// `dx += inv · (dy⊙g − x̂ · mean(dy⊙g⊙x̂))`.
+#[allow(clippy::too_many_arguments)]
+pub fn rmsnorm_rows_backward(
+    dx: &mut [f32],
+    dg: &mut [f32],
+    dy: &[f32],
+    x: &[f32],
+    g: &[f32],
+    inv_rms: &[f32],
+    m: usize,
+    n: usize,
+) {
+    assert_eq!(dx.len(), m * n);
+    assert_eq!(dy.len(), m * n);
+    assert_eq!(x.len(), m * n);
+    assert_eq!(dg.len(), n);
+    assert_eq!(g.len(), n);
+    assert_eq!(inv_rms.len(), m);
+    for i in 0..m {
+        let inv = inv_rms[i];
+        let xr = &x[i * n..(i + 1) * n];
+        let dyr = &dy[i * n..(i + 1) * n];
+        // mean over the row of dy*g*x̂
+        let mut mdot = 0.0f32;
+        for j in 0..n {
+            mdot += dyr[j] * g[j] * xr[j] * inv;
+        }
+        mdot /= n as f32;
+        let dxr = &mut dx[i * n..(i + 1) * n];
+        for j in 0..n {
+            let xhat = xr[j] * inv;
+            dg[j] += dyr[j] * xhat;
+            dxr[j] += inv * (dyr[j] * g[j] - xhat * mdot);
+        }
+    }
+}
+
+/// SiLU (a.k.a. swish) activation: `y = x · σ(x)`, element-wise.
+pub fn silu(y: &mut [f32], x: &[f32]) {
+    assert_eq!(y.len(), x.len());
+    for (yv, &xv) in y.iter_mut().zip(x.iter()) {
+        *yv = xv * sigmoid(xv);
+    }
+}
+
+/// Backward of SiLU: `dx += dy · (σ(x) + x·σ(x)·(1−σ(x)))`.
+pub fn silu_backward(dx: &mut [f32], dy: &[f32], x: &[f32]) {
+    assert_eq!(dx.len(), x.len());
+    assert_eq!(dy.len(), x.len());
+    for ((d, &dyv), &xv) in dx.iter_mut().zip(dy.iter()).zip(x.iter()) {
+        let s = sigmoid(xv);
+        *d += dyv * (s + xv * s * (1.0 - s));
+    }
+}
+
+/// Logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Element-wise product accumulate: `out += a ⊙ b`.
+pub fn mul_acc(out: &mut [f32], a: &[f32], b: &[f32]) {
+    assert_eq!(out.len(), a.len());
+    assert_eq!(out.len(), b.len());
+    for ((o, &x), &y) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
+        *o += x * y;
+    }
+}
+
+/// Element-wise product: `out = a ⊙ b`.
+pub fn mul(out: &mut [f32], a: &[f32], b: &[f32]) {
+    assert_eq!(out.len(), a.len());
+    assert_eq!(out.len(), b.len());
+    for ((o, &x), &y) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
+        *o = x * y;
+    }
+}
+
+/// In-place addition: `y += x`.
+pub fn add_assign(y: &mut [f32], x: &[f32]) {
+    assert_eq!(y.len(), x.len());
+    for (yv, &xv) in y.iter_mut().zip(x.iter()) {
+        *yv += xv;
+    }
+}
+
+/// In-place scale: `x *= alpha`.
+pub fn scale(x: &mut [f32], alpha: f32) {
+    for v in x.iter_mut() {
+        *v *= alpha;
+    }
+}
+
+/// L2 norm of a slice, accumulated in f64 for stability.
+pub fn l2_norm(x: &[f32]) -> f32 {
+    (x.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>()).sqrt() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut x = vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0];
+        softmax_rows(&mut x, 2, 3);
+        for row in x.chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+            assert!(row.iter().all(|&p| p > 0.0));
+        }
+        // larger logit → larger probability
+        assert!(x[2] > x[1] && x[1] > x[0]);
+    }
+
+    #[test]
+    fn softmax_stable_for_large_logits() {
+        let mut x = vec![1000.0, 1001.0];
+        softmax_rows(&mut x, 1, 2);
+        assert!(x.iter().all(|v| v.is_finite()));
+        assert!((x[0] + x[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_sum_exp_known() {
+        let x = [0.0f32, 0.0];
+        assert!((log_sum_exp(&x) - (2.0f32).ln()).abs() < 1e-6);
+        let y = [500.0f32, 500.0];
+        assert!((log_sum_exp(&y) - (500.0 + (2.0f32).ln())).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_logits() {
+        // zero logits over 4 classes → loss = ln(4) regardless of target
+        let logits = vec![0.0; 8];
+        let mut d = vec![0.0; 8];
+        let (loss, active) =
+            cross_entropy_rows(&mut d, &logits, &[1, 3], &[true, true], 2, 4);
+        assert_eq!(active, 2);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-6);
+        // gradient rows sum to zero
+        for row in d.chunks(4) {
+            let s: f32 = row.iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_mask_skips_rows() {
+        let logits = vec![5.0, 0.0, 0.0, 5.0];
+        let mut d = vec![0.0; 4];
+        let (loss1, active) =
+            cross_entropy_rows(&mut d, &logits, &[0, 0], &[true, false], 2, 2);
+        assert_eq!(active, 1);
+        // masked row contributes no gradient
+        assert!(d[2] == 0.0 && d[3] == 0.0);
+        // loss equals the single-row loss
+        let lse = log_sum_exp(&logits[0..2]);
+        assert!((loss1 - (lse - 5.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_all_masked_is_zero() {
+        let logits = vec![1.0, 2.0];
+        let mut d = vec![9.0; 2];
+        let (loss, active) = cross_entropy_rows(&mut d, &logits, &[0], &[false], 1, 2);
+        assert_eq!(active, 0);
+        assert_eq!(loss, 0.0);
+        assert!(d.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let logits = vec![0.3f32, -0.7, 1.2, 0.05, 0.9, -0.2];
+        let targets = [2usize, 0];
+        let mask = [true, true];
+        let mut d = vec![0.0; 6];
+        let (_, _) = cross_entropy_rows(&mut d, &logits, &targets, &mask, 2, 3);
+        let eps = 1e-3f32;
+        for idx in 0..6 {
+            let mut lp = logits.clone();
+            lp[idx] += eps;
+            let mut lm = logits.clone();
+            lm[idx] -= eps;
+            let mut scratch = vec![0.0; 6];
+            let (fp, _) = cross_entropy_rows(&mut scratch, &lp, &targets, &mask, 2, 3);
+            let (fm, _) = cross_entropy_rows(&mut scratch, &lm, &targets, &mask, 2, 3);
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!((fd - d[idx]).abs() < 1e-2, "idx {idx}: fd {fd} vs analytic {}", d[idx]);
+        }
+    }
+
+    #[test]
+    fn rmsnorm_unit_gain_preserves_direction() {
+        let x = vec![3.0f32, 4.0];
+        let g = vec![1.0f32, 1.0];
+        let mut y = vec![0.0; 2];
+        let mut inv = vec![0.0; 1];
+        rmsnorm_rows(&mut y, &mut inv, &x, &g, 1, 2, 0.0);
+        // rms = sqrt((9+16)/2) = sqrt(12.5)
+        let rms = 12.5f32.sqrt();
+        assert!((y[0] - 3.0 / rms).abs() < 1e-6);
+        assert!((y[1] - 4.0 / rms).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rmsnorm_backward_matches_finite_difference() {
+        let m = 2;
+        let n = 4;
+        let x: Vec<f32> = (0..m * n).map(|i| (i as f32 * 0.37).sin()).collect();
+        let g: Vec<f32> = (0..n).map(|i| 1.0 + 0.1 * i as f32).collect();
+        let eps = 1e-5f32;
+        // loss = sum(y * w) for fixed random-ish weights w
+        let w: Vec<f32> = (0..m * n).map(|i| ((i * 7 % 5) as f32 - 2.0) * 0.3).collect();
+        let loss = |x: &[f32], g: &[f32]| -> f32 {
+            let mut y = vec![0.0; m * n];
+            let mut inv = vec![0.0; m];
+            rmsnorm_rows(&mut y, &mut inv, x, g, m, n, eps);
+            y.iter().zip(w.iter()).map(|(a, b)| a * b).sum()
+        };
+        let mut y = vec![0.0; m * n];
+        let mut inv = vec![0.0; m];
+        rmsnorm_rows(&mut y, &mut inv, &x, &g, m, n, eps);
+        let mut dx = vec![0.0; m * n];
+        let mut dg = vec![0.0; n];
+        rmsnorm_rows_backward(&mut dx, &mut dg, &w, &x, &g, &inv, m, n);
+        let h = 1e-3f32;
+        for idx in 0..m * n {
+            let mut xp = x.clone();
+            xp[idx] += h;
+            let mut xm = x.clone();
+            xm[idx] -= h;
+            let fd = (loss(&xp, &g) - loss(&xm, &g)) / (2.0 * h);
+            assert!((fd - dx[idx]).abs() < 2e-2, "dx[{idx}]: fd {fd} vs {}", dx[idx]);
+        }
+        for idx in 0..n {
+            let mut gp = g.clone();
+            gp[idx] += h;
+            let mut gm = g.clone();
+            gm[idx] -= h;
+            let fd = (loss(&x, &gp) - loss(&x, &gm)) / (2.0 * h);
+            assert!((fd - dg[idx]).abs() < 2e-2, "dg[{idx}]: fd {fd} vs {}", dg[idx]);
+        }
+    }
+
+    #[test]
+    fn silu_zero_is_zero_and_monotone_positive() {
+        let x = vec![-2.0f32, 0.0, 2.0];
+        let mut y = vec![0.0; 3];
+        silu(&mut y, &x);
+        assert_eq!(y[1], 0.0);
+        assert!(y[2] > 0.0);
+        assert!(y[0] < 0.0 && y[0] > -0.5); // silu(-2) ≈ -0.238
+    }
+
+    #[test]
+    fn silu_backward_matches_finite_difference() {
+        let x: Vec<f32> = vec![-1.5, -0.3, 0.0, 0.7, 2.2];
+        let dy = vec![1.0f32; 5];
+        let mut dx = vec![0.0f32; 5];
+        silu_backward(&mut dx, &dy, &x);
+        let h = 1e-3f32;
+        for i in 0..5 {
+            let f = |v: f32| v * sigmoid(v);
+            let fd = (f(x[i] + h) - f(x[i] - h)) / (2.0 * h);
+            assert!((fd - dx[i]).abs() < 1e-3, "i {i}");
+        }
+    }
+
+    #[test]
+    fn softmax_backward_matches_finite_difference() {
+        let n = 5;
+        let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.9).cos()).collect();
+        let w: Vec<f32> = (0..n).map(|i| (i as f32 + 1.0) * 0.2).collect();
+        let loss = |x: &[f32]| -> f32 {
+            let mut y = x.to_vec();
+            softmax_rows(&mut y, 1, n);
+            y.iter().zip(w.iter()).map(|(a, b)| a * b).sum()
+        };
+        let mut y = x.clone();
+        softmax_rows(&mut y, 1, n);
+        let mut dx = vec![0.0; n];
+        softmax_rows_backward(&mut dx, &y, &w, 1, n);
+        let h = 1e-3f32;
+        for i in 0..n {
+            let mut xp = x.clone();
+            xp[i] += h;
+            let mut xm = x.clone();
+            xm[i] -= h;
+            let fd = (loss(&xp) - loss(&xm)) / (2.0 * h);
+            assert!((fd - dx[i]).abs() < 1e-3, "i {i}: {fd} vs {}", dx[i]);
+        }
+    }
+
+    #[test]
+    fn elementwise_helpers() {
+        let mut out = vec![1.0f32, 1.0];
+        mul_acc(&mut out, &[2.0, 3.0], &[4.0, 5.0]);
+        assert_eq!(out, vec![9.0, 16.0]);
+        mul(&mut out, &[2.0, 3.0], &[4.0, 5.0]);
+        assert_eq!(out, vec![8.0, 15.0]);
+        add_assign(&mut out, &[1.0, 1.0]);
+        assert_eq!(out, vec![9.0, 16.0]);
+        scale(&mut out, 0.5);
+        assert_eq!(out, vec![4.5, 8.0]);
+        assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,265 @@
+//! BPE training.
+//!
+//! Standard byte-pair-encoding trainer over a word-segmented corpus:
+//! count the frequency of every adjacent token pair across all distinct
+//! chunks (weighted by chunk frequency), merge the most frequent pair,
+//! repeat until the target vocabulary size. Chunk deduplication makes
+//! training cost proportional to the number of *distinct* words rather
+//! than corpus length.
+
+use crate::{segment, TokenId, Tokenizer, SPECIALS};
+use std::collections::HashMap;
+
+/// Configuration for [`train_bpe`].
+#[derive(Clone, Debug)]
+pub struct BpeTrainerConfig {
+    /// Target total vocabulary size (bytes + specials + merges). Values
+    /// below `256 + SPECIALS.len()` yield a byte-only tokenizer.
+    pub vocab_size: usize,
+    /// Stop merging when the best pair occurs fewer than this many times.
+    pub min_pair_count: u64,
+    /// Pieces guaranteed to exist as single tokens after training, even
+    /// if the corpus statistics would not produce them (merges are
+    /// appended as needed). Real LLM tokenizers reliably contain the
+    /// answer-letter variants (`" A"`, `" B"`, ...) the paper's
+    /// next-token method depends on; this reproduces that property at
+    /// small vocabulary sizes.
+    pub ensure_pieces: Vec<String>,
+}
+
+impl Default for BpeTrainerConfig {
+    fn default() -> Self {
+        BpeTrainerConfig {
+            vocab_size: 1024,
+            min_pair_count: 2,
+            ensure_pieces: Vec::new(),
+        }
+    }
+}
+
+/// Train a byte-level BPE tokenizer on the given documents.
+pub fn train_bpe(docs: &[String], config: &BpeTrainerConfig) -> Tokenizer {
+    let base = 256 + SPECIALS.len();
+    let target_merges = config.vocab_size.saturating_sub(base);
+
+    // Collect distinct chunks with frequencies.
+    let mut chunk_freq: HashMap<&str, u64> = HashMap::new();
+    for doc in docs {
+        for chunk in segment(doc) {
+            *chunk_freq.entry(chunk).or_insert(0) += 1;
+        }
+    }
+    // Each chunk as a mutable token sequence.
+    let mut chunks: Vec<(Vec<TokenId>, u64)> = chunk_freq
+        .into_iter()
+        .map(|(s, f)| (s.bytes().map(|b| b as TokenId).collect(), f))
+        .collect();
+    // Deterministic order regardless of hash iteration.
+    chunks.sort_unstable();
+
+    let mut merges: Vec<(TokenId, TokenId)> = Vec::with_capacity(target_merges);
+
+    for merge_idx in 0..target_merges {
+        // Count adjacent pairs.
+        let mut pair_counts: HashMap<(TokenId, TokenId), u64> = HashMap::new();
+        for (ids, freq) in &chunks {
+            for w in ids.windows(2) {
+                *pair_counts.entry((w[0], w[1])).or_insert(0) += freq;
+            }
+        }
+        // Best pair; ties broken by smallest pair ids for determinism.
+        let best = pair_counts
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+            .map(|(&p, &c)| (p, c));
+        let Some((pair, count)) = best else { break };
+        if count < config.min_pair_count {
+            break;
+        }
+        let new_id = (base + merge_idx) as TokenId;
+        merges.push(pair);
+        // Apply the merge to every chunk.
+        for (ids, _) in &mut chunks {
+            apply_merge(ids, pair, new_id);
+        }
+    }
+
+    // Append merges for any required pieces the corpus statistics missed.
+    let mut tok = Tokenizer::from_merges(merges.clone());
+    for piece in &config.ensure_pieces {
+        while tok.token_for_str(piece).is_none() {
+            let ids = {
+                let mut out = Vec::new();
+                // Encode as a single chunk so merges can span the piece.
+                tok.encode_raw_chunk(piece.as_bytes(), &mut out);
+                out
+            };
+            debug_assert!(ids.len() >= 2, "piece {piece:?} should need a merge");
+            merges.push((ids[0], ids[1]));
+            tok = Tokenizer::from_merges(merges.clone());
+        }
+    }
+    tok
+}
+
+/// Replace every occurrence of `pair` in `ids` with `new_id`, in place.
+fn apply_merge(ids: &mut Vec<TokenId>, pair: (TokenId, TokenId), new_id: TokenId) {
+    if ids.len() < 2 {
+        return;
+    }
+    let mut write = 0;
+    let mut read = 0;
+    while read < ids.len() {
+        if read + 1 < ids.len() && ids[read] == pair.0 && ids[read + 1] == pair.1 {
+            ids[write] = new_id;
+            read += 2;
+        } else {
+            ids[write] = ids[read];
+            read += 1;
+        }
+        write += 1;
+    }
+    ids.truncate(write);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_merge_basic() {
+        let mut ids = vec![1, 2, 3, 1, 2, 1];
+        apply_merge(&mut ids, (1, 2), 99);
+        assert_eq!(ids, vec![99, 3, 99, 1]);
+    }
+
+    #[test]
+    fn apply_merge_overlapping_left_to_right() {
+        let mut ids = vec![7, 7, 7];
+        apply_merge(&mut ids, (7, 7), 42);
+        assert_eq!(ids, vec![42, 7]);
+    }
+
+    #[test]
+    fn apply_merge_empty_and_single() {
+        let mut empty: Vec<TokenId> = vec![];
+        apply_merge(&mut empty, (1, 2), 9);
+        assert!(empty.is_empty());
+        let mut single = vec![5];
+        apply_merge(&mut single, (1, 2), 9);
+        assert_eq!(single, vec![5]);
+    }
+
+    #[test]
+    fn training_learns_frequent_words() {
+        let corpus = "supernova ".repeat(100) + &"dust ".repeat(3);
+        let tok = train_bpe(
+            &[corpus],
+            &BpeTrainerConfig {
+                vocab_size: 280,
+                min_pair_count: 2,
+                ensure_pieces: Vec::new(),
+            },
+        );
+        // "supernova" should encode into very few tokens after merging.
+        let n = tok.encode("supernova").len();
+        assert!(n <= 3, "supernova encodes to {n} tokens");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let docs = vec!["the star of the galaxy shines on the dust".to_string()];
+        let cfg = BpeTrainerConfig {
+            vocab_size: 290,
+            min_pair_count: 1,
+            ensure_pieces: Vec::new(),
+        };
+        let a = train_bpe(&docs, &cfg);
+        let b = train_bpe(&docs, &cfg);
+        assert_eq!(a.encode("the star"), b.encode("the star"));
+        assert_eq!(a.vocab_size(), b.vocab_size());
+    }
+
+    #[test]
+    fn min_pair_count_limits_merges() {
+        let docs = vec!["abc abc xyz".to_string()];
+        let strict = train_bpe(
+            &docs,
+            &BpeTrainerConfig {
+                vocab_size: 400,
+                min_pair_count: 1000,
+                ensure_pieces: Vec::new(),
+            },
+        );
+        assert_eq!(strict.num_merges(), 0);
+    }
+
+    #[test]
+    fn ensure_pieces_creates_missing_tokens() {
+        // Corpus never contains " A", yet the piece must exist afterwards.
+        let tok = train_bpe(
+            &["nothing relevant here".to_string()],
+            &BpeTrainerConfig {
+                vocab_size: 270,
+                min_pair_count: 2,
+                ensure_pieces: vec![" A".to_string(), " B".to_string(), " D".to_string()],
+            },
+        );
+        for piece in [" A", " B", " D"] {
+            assert!(tok.token_for_str(piece).is_some(), "{piece:?} missing");
+        }
+    }
+
+    #[test]
+    fn ensure_pieces_multibyte() {
+        let tok = train_bpe(
+            &["xyz".to_string()],
+            &BpeTrainerConfig {
+                vocab_size: 270,
+                min_pair_count: 1000,
+                ensure_pieces: vec!["Answer:".to_string()],
+            },
+        );
+        assert!(tok.token_for_str("Answer:").is_some());
+        // Round trips still hold with the synthetic merges.
+        assert_eq!(tok.decode(&tok.encode("Answer: yes")), "Answer: yes");
+    }
+
+    #[test]
+    fn ensure_pieces_noop_when_already_present() {
+        let corpus = "Answer: A ".repeat(100);
+        let with = train_bpe(
+            &[corpus.clone()],
+            &BpeTrainerConfig {
+                vocab_size: 300,
+                min_pair_count: 1,
+                ensure_pieces: vec![" A".to_string()],
+            },
+        );
+        let without = train_bpe(
+            &[corpus],
+            &BpeTrainerConfig {
+                vocab_size: 300,
+                min_pair_count: 1,
+                ensure_pieces: Vec::new(),
+            },
+        );
+        // " A" was already learned from data, so ensure adds nothing.
+        assert_eq!(with.num_merges(), without.num_merges());
+    }
+
+    #[test]
+    fn vocab_below_base_is_byte_only() {
+        let docs = vec!["hello".to_string()];
+        let tok = train_bpe(
+            &docs,
+            &BpeTrainerConfig {
+                vocab_size: 10,
+                min_pair_count: 1,
+                ensure_pieces: Vec::new(),
+            },
+        );
+        assert_eq!(tok.num_merges(), 0);
+        assert_eq!(tok.encode("hi").len(), 2);
+    }
+}

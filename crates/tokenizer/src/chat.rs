@@ -1,0 +1,189 @@
+//! Chat template for SFT and full-instruct evaluation.
+//!
+//! The paper's SFT stage turns base models into "chat/instruct" versions;
+//! its full-instruct benchmark then prompts them conversationally. Both
+//! need a canonical serialisation of a conversation into tokens, plus — for
+//! SFT loss masking — the spans that belong to assistant turns (loss is
+//! computed only on assistant tokens, as in standard instruction tuning).
+
+use crate::{TokenId, Tokenizer};
+
+/// Speaker role in a conversation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// System instructions.
+    System,
+    /// Human/user turn.
+    User,
+    /// Model turn (the only spans that receive loss during SFT).
+    Assistant,
+}
+
+impl Role {
+    fn special_name(self) -> &'static str {
+        match self {
+            Role::System => "<|system|>",
+            Role::User => "<|user|>",
+            Role::Assistant => "<|assistant|>",
+        }
+    }
+}
+
+/// One turn of a conversation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChatMessage {
+    /// Who is speaking.
+    pub role: Role,
+    /// The turn's text content.
+    pub content: String,
+}
+
+impl ChatMessage {
+    /// Convenience constructor.
+    pub fn new(role: Role, content: impl Into<String>) -> Self {
+        ChatMessage {
+            role,
+            content: content.into(),
+        }
+    }
+}
+
+/// Tokenised conversation with assistant-span markers.
+#[derive(Clone, Debug)]
+pub struct RenderedChat {
+    /// The full token sequence (starts with BOS).
+    pub tokens: Vec<TokenId>,
+    /// `true` for positions whose *prediction* should receive loss — i.e.
+    /// the assistant's content tokens and the closing `<|end|>` of
+    /// assistant turns.
+    pub loss_mask: Vec<bool>,
+}
+
+/// Serialises conversations as
+/// `<|bos|> (<|role|> content <|end|>)*` and, for generation prompts,
+/// a trailing `<|assistant|>` header.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChatTemplate;
+
+impl ChatTemplate {
+    /// Render a full conversation for SFT training.
+    pub fn render_training(&self, tok: &Tokenizer, messages: &[ChatMessage]) -> RenderedChat {
+        let end = tok.special("<|end|>");
+        let mut tokens = vec![tok.bos()];
+        let mut loss_mask = vec![false];
+        for msg in messages {
+            let header = tok.special(msg.role.special_name());
+            tokens.push(header);
+            loss_mask.push(false);
+            let body = tok.encode(&msg.content);
+            let is_assistant = msg.role == Role::Assistant;
+            for id in body {
+                tokens.push(id);
+                loss_mask.push(is_assistant);
+            }
+            tokens.push(end);
+            loss_mask.push(is_assistant);
+        }
+        debug_assert_eq!(tokens.len(), loss_mask.len());
+        RenderedChat { tokens, loss_mask }
+    }
+
+    /// Render a prompt for generation: the conversation so far plus an
+    /// opened assistant turn the model should complete.
+    pub fn render_prompt(&self, tok: &Tokenizer, messages: &[ChatMessage]) -> Vec<TokenId> {
+        let end = tok.special("<|end|>");
+        let mut tokens = vec![tok.bos()];
+        for msg in messages {
+            tokens.push(tok.special(msg.role.special_name()));
+            tokens.extend(tok.encode(&msg.content));
+            tokens.push(end);
+        }
+        tokens.push(tok.special("<|assistant|>"));
+        tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{train_bpe, BpeTrainerConfig};
+
+    fn tok() -> Tokenizer {
+        train_bpe(
+            &["hello world how are you fine thanks".to_string()],
+            &BpeTrainerConfig {
+                vocab_size: 280,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn training_render_masks_only_assistant() {
+        let tok = tok();
+        let msgs = [
+            ChatMessage::new(Role::User, "hello"),
+            ChatMessage::new(Role::Assistant, "world"),
+        ];
+        let r = ChatTemplate.render_training(&tok, &msgs);
+        assert_eq!(r.tokens.len(), r.loss_mask.len());
+        assert_eq!(r.tokens[0], tok.bos());
+        // user content must be unmasked; at least one masked position must
+        // exist (assistant content + its <|end|>).
+        let masked: usize = r.loss_mask.iter().filter(|&&b| b).count();
+        let world_len = tok.encode("world").len();
+        assert_eq!(masked, world_len + 1, "assistant tokens + end");
+        // header tokens themselves receive no loss
+        let assistant_header = tok.special("<|assistant|>");
+        for (t, &m) in r.tokens.iter().zip(r.loss_mask.iter()) {
+            if *t == assistant_header {
+                assert!(!m);
+            }
+        }
+    }
+
+    #[test]
+    fn prompt_render_ends_with_assistant_header() {
+        let tok = tok();
+        let msgs = [
+            ChatMessage::new(Role::System, "you are helpful"),
+            ChatMessage::new(Role::User, "hello"),
+        ];
+        let p = ChatTemplate.render_prompt(&tok, &msgs);
+        assert_eq!(*p.last().unwrap(), tok.special("<|assistant|>"));
+        assert_eq!(p[0], tok.bos());
+    }
+
+    #[test]
+    fn multi_turn_conversation_renders_all_turns() {
+        let tok = tok();
+        let msgs = [
+            ChatMessage::new(Role::User, "hello"),
+            ChatMessage::new(Role::Assistant, "world"),
+            ChatMessage::new(Role::User, "how are you"),
+            ChatMessage::new(Role::Assistant, "fine thanks"),
+        ];
+        let r = ChatTemplate.render_training(&tok, &msgs);
+        let ends = r
+            .tokens
+            .iter()
+            .filter(|&&t| t == tok.special("<|end|>"))
+            .count();
+        assert_eq!(ends, 4);
+        let headers = r
+            .tokens
+            .iter()
+            .filter(|&&t| t == tok.special("<|user|>") || t == tok.special("<|assistant|>"))
+            .count();
+        assert_eq!(headers, 4);
+    }
+
+    #[test]
+    fn empty_conversation_is_just_bos() {
+        let tok = tok();
+        let r = ChatTemplate.render_training(&tok, &[]);
+        assert_eq!(r.tokens, vec![tok.bos()]);
+        let p = ChatTemplate.render_prompt(&tok, &[]);
+        assert_eq!(p, vec![tok.bos(), tok.special("<|assistant|>")]);
+    }
+}

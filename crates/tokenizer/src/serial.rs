@@ -1,0 +1,108 @@
+//! Compact binary serialisation for tokenizers.
+//!
+//! Format (little-endian):
+//! ```text
+//! magic  u32  = 0x42504531 ("BPE1")
+//! merges u32  = number of merge rules
+//! then per merge: a u32, b u32
+//! ```
+//! Pieces are reconstructed from the merges, so only the rules are stored.
+
+use crate::{TokenId, Tokenizer};
+
+const MAGIC: u32 = 0x4250_4531;
+
+/// Serialise a tokenizer's merge table.
+pub fn tokenizer_to_bytes(tok: &Tokenizer) -> Vec<u8> {
+    let merges = tok.merges();
+    let mut out = Vec::with_capacity(8 + merges.len() * 8);
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&(merges.len() as u32).to_le_bytes());
+    for &(a, b) in merges {
+        out.extend_from_slice(&a.to_le_bytes());
+        out.extend_from_slice(&b.to_le_bytes());
+    }
+    out
+}
+
+/// Deserialise a tokenizer from [`tokenizer_to_bytes`] output.
+pub fn tokenizer_from_bytes(bytes: &[u8]) -> Result<Tokenizer, String> {
+    if bytes.len() < 8 {
+        return Err("tokenizer blob too short".to_string());
+    }
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("sliced"));
+    if magic != MAGIC {
+        return Err(format!("bad tokenizer magic {magic:#x}"));
+    }
+    let count = u32::from_le_bytes(bytes[4..8].try_into().expect("sliced")) as usize;
+    let want = 8 + count * 8;
+    if bytes.len() != want {
+        return Err(format!(
+            "tokenizer blob length {} does not match {count} merges (want {want})",
+            bytes.len()
+        ));
+    }
+    let mut merges: Vec<(TokenId, TokenId)> = Vec::with_capacity(count);
+    for i in 0..count {
+        let off = 8 + i * 8;
+        let a = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("sliced"));
+        let b = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().expect("sliced"));
+        merges.push((a, b));
+    }
+    // Validate that merge operands refer to already-defined tokens.
+    let base = (256 + crate::SPECIALS.len()) as u32;
+    for (rank, &(a, b)) in merges.iter().enumerate() {
+        let limit = base + rank as u32;
+        if a >= limit || b >= limit {
+            return Err(format!("merge {rank} references undefined token ({a},{b})"));
+        }
+    }
+    Ok(Tokenizer::from_merges(merges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{train_bpe, BpeTrainerConfig};
+
+    #[test]
+    fn round_trip_preserves_behaviour() {
+        let tok = train_bpe(
+            &["star dust nebula star dust".to_string()],
+            &BpeTrainerConfig {
+                vocab_size: 290,
+                min_pair_count: 1,
+                ensure_pieces: Vec::new(),
+            },
+        );
+        let restored = tokenizer_from_bytes(&tokenizer_to_bytes(&tok)).unwrap();
+        for text in ["star dust", "nebula", "unseen words"] {
+            assert_eq!(tok.encode(text), restored.encode(text));
+        }
+    }
+
+    #[test]
+    fn rejects_forward_references() {
+        // A merge whose operand id is not yet defined must be rejected.
+        let mut blob = Vec::new();
+        blob.extend_from_slice(&MAGIC.to_le_bytes());
+        blob.extend_from_slice(&1u32.to_le_bytes());
+        blob.extend_from_slice(&999u32.to_le_bytes());
+        blob.extend_from_slice(&0u32.to_le_bytes());
+        assert!(tokenizer_from_bytes(&blob).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let tok = train_bpe(
+            &["aa bb aa bb".to_string()],
+            &BpeTrainerConfig {
+                vocab_size: 270,
+                min_pair_count: 1,
+                ensure_pieces: Vec::new(),
+            },
+        );
+        let blob = tokenizer_to_bytes(&tok);
+        assert!(tokenizer_from_bytes(&blob[..blob.len() - 1]).is_err());
+    }
+}

@@ -1,0 +1,242 @@
+//! AdamW optimizer with decoupled weight decay and global-norm gradient
+//! clipping.
+
+use astro_tensor::ops::l2_norm;
+
+/// AdamW state and hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct AdamW {
+    /// First-moment estimates.
+    m: Vec<f32>,
+    /// Second-moment estimates.
+    v: Vec<f32>,
+    /// Step counter (for bias correction).
+    t: u64,
+    /// β₁.
+    pub beta1: f32,
+    /// β₂.
+    pub beta2: f32,
+    /// ε.
+    pub eps: f32,
+    /// Decoupled weight decay coefficient.
+    pub weight_decay: f32,
+}
+
+impl AdamW {
+    /// Fresh optimizer state for `n` parameters with standard defaults
+    /// (β₁ 0.9, β₂ 0.999, ε 1e-8, weight decay 0.01).
+    pub fn new(n: usize) -> Self {
+        AdamW {
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            t: 0,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.01,
+        }
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Apply one update: `params -= lr · (m̂/(√v̂+ε) + wd·params)`.
+    pub fn step(&mut self, params: &mut [f32], grad: &[f32], lr: f32) {
+        assert_eq!(params.len(), self.m.len(), "optimizer size mismatch");
+        assert_eq!(grad.len(), self.m.len(), "gradient size mismatch");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grad[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let mhat = self.m[i] / b1t;
+            let vhat = self.v[i] / b2t;
+            params[i] -= lr * (mhat / (vhat.sqrt() + self.eps) + self.weight_decay * params[i]);
+        }
+    }
+}
+
+impl AdamW {
+    /// Serialise the optimizer state (moments + step counter +
+    /// hyper-parameters) for training resumption.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.m.len() * 8 + 24);
+        out.extend_from_slice(&0x41444d57u32.to_le_bytes()); // "ADMW"
+        out.extend_from_slice(&(self.m.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.t.to_le_bytes());
+        for v in [self.beta1, self.beta2, self.eps, self.weight_decay] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for &x in &self.m {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        for &x in &self.v {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        out
+    }
+
+    /// Restore from [`AdamW::to_bytes`] output.
+    pub fn from_bytes(bytes: &[u8]) -> Result<AdamW, String> {
+        if bytes.len() < 36 {
+            return Err("optimizer blob too short".to_string());
+        }
+        let word32 = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().expect("sliced"));
+        if word32(0) != 0x41444d57 {
+            return Err("bad optimizer magic".to_string());
+        }
+        let n = u64::from_le_bytes(bytes[4..12].try_into().expect("sliced")) as usize;
+        let t = u64::from_le_bytes(bytes[12..20].try_into().expect("sliced"));
+        let want = 36 + n * 8;
+        if bytes.len() != want {
+            return Err(format!("optimizer blob length {} != {want}", bytes.len()));
+        }
+        let f32_at = |o: usize| f32::from_le_bytes(bytes[o..o + 4].try_into().expect("sliced"));
+        let mut m = Vec::with_capacity(n);
+        let mut v = Vec::with_capacity(n);
+        for i in 0..n {
+            m.push(f32_at(36 + i * 4));
+        }
+        for i in 0..n {
+            v.push(f32_at(36 + n * 4 + i * 4));
+        }
+        Ok(AdamW {
+            m,
+            v,
+            t,
+            beta1: f32_at(20),
+            beta2: f32_at(24),
+            eps: f32_at(28),
+            weight_decay: f32_at(32),
+        })
+    }
+}
+
+/// Scale `grad` in place so its global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+pub fn clip_grad_norm(grad: &mut [f32], max_norm: f32) -> f32 {
+    let norm = l2_norm(grad);
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for g in grad.iter_mut() {
+            *g *= scale;
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_on_quadratic() {
+        // minimise Σ (x_i − c_i)²
+        let target = [3.0f32, -2.0, 0.5];
+        let mut x = vec![0.0f32; 3];
+        let mut opt = AdamW::new(3);
+        opt.weight_decay = 0.0;
+        for _ in 0..800 {
+            let grad: Vec<f32> = x.iter().zip(target.iter()).map(|(xi, ci)| 2.0 * (xi - ci)).collect();
+            opt.step(&mut x, &grad, 0.05);
+        }
+        for (xi, ci) in x.iter().zip(target.iter()) {
+            assert!((xi - ci).abs() < 0.05, "{xi} vs {ci}");
+        }
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params_with_zero_grad() {
+        let mut x = vec![1.0f32; 4];
+        let grad = vec![0.0f32; 4];
+        let mut opt = AdamW::new(4);
+        for _ in 0..10 {
+            opt.step(&mut x, &grad, 0.1);
+        }
+        assert!(x.iter().all(|&v| v < 1.0 && v > 0.9), "{x:?}");
+    }
+
+    #[test]
+    fn step_counter_advances() {
+        let mut opt = AdamW::new(2);
+        assert_eq!(opt.steps(), 0);
+        opt.step(&mut [0.0, 0.0], &[1.0, 1.0], 0.01);
+        assert_eq!(opt.steps(), 1);
+    }
+
+    #[test]
+    fn first_step_moves_by_about_lr() {
+        // With bias correction, the first AdamW step ≈ lr · sign(g).
+        let mut x = vec![0.0f32];
+        let mut opt = AdamW::new(1);
+        opt.weight_decay = 0.0;
+        opt.step(&mut x, &[0.3], 0.01);
+        assert!((x[0] + 0.01).abs() < 1e-3, "{}", x[0]);
+    }
+
+    #[test]
+    fn clip_reduces_large_norm() {
+        let mut g = vec![3.0f32, 4.0];
+        let pre = clip_grad_norm(&mut g, 1.0);
+        assert!((pre - 5.0).abs() < 1e-5);
+        assert!((l2_norm(&g) - 1.0).abs() < 1e-5);
+        // direction preserved
+        assert!((g[0] / g[1] - 0.75).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_leaves_small_norm() {
+        let mut g = vec![0.3f32, 0.4];
+        clip_grad_norm(&mut g, 1.0);
+        assert_eq!(g, vec![0.3, 0.4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn size_mismatch_panics() {
+        let mut opt = AdamW::new(2);
+        opt.step(&mut [0.0, 0.0, 0.0], &[0.0, 0.0, 0.0], 0.1);
+    }
+
+    #[test]
+    fn serialization_round_trip_resumes_identically() {
+        // Train a few steps, snapshot, train more; resuming from the
+        // snapshot must reproduce the continuation exactly.
+        let mut x = vec![1.0f32, -2.0, 0.5];
+        let mut opt = AdamW::new(3);
+        let grad_at = |x: &[f32]| -> Vec<f32> { x.iter().map(|v| 2.0 * v).collect() };
+        for _ in 0..5 {
+            let g = grad_at(&x);
+            opt.step(&mut x, &g, 0.05);
+        }
+        let snap_x = x.clone();
+        let blob = opt.to_bytes();
+        // Continue original.
+        for _ in 0..5 {
+            let g = grad_at(&x);
+            opt.step(&mut x, &g, 0.05);
+        }
+        // Resume from snapshot.
+        let mut opt2 = AdamW::from_bytes(&blob).unwrap();
+        assert_eq!(opt2.steps(), 5);
+        let mut x2 = snap_x;
+        for _ in 0..5 {
+            let g = grad_at(&x2);
+            opt2.step(&mut x2, &g, 0.05);
+        }
+        assert_eq!(x, x2, "resumed trajectory diverged");
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage() {
+        assert!(AdamW::from_bytes(&[]).is_err());
+        assert!(AdamW::from_bytes(&[0u8; 36]).is_err());
+        let mut blob = AdamW::new(2).to_bytes();
+        blob.truncate(blob.len() - 1);
+        assert!(AdamW::from_bytes(&blob).is_err());
+    }
+}

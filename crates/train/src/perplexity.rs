@@ -1,0 +1,157 @@
+//! Held-out loss / perplexity evaluation.
+//!
+//! CPT's training objective is next-token prediction; the most direct
+//! measure of what CPT did (before any MCQ benchmarking) is the model's
+//! loss on held-out text from each distribution. The study uses this to
+//! show the mechanism behind catastrophic forgetting: after CPT on
+//! astro-only text, loss on astro text drops while loss on the general
+//! distribution rises.
+
+use crate::data::TokenStream;
+use astro_model::{Params, TrainContext};
+
+/// Mean next-token loss of `params` over deterministic, non-overlapping
+/// windows of `stream`. Evaluates at most `max_windows` windows of length
+/// `seq` (0 = all). Returns `(mean_loss, windows_evaluated)`.
+pub fn held_out_loss(
+    params: &Params,
+    stream: &TokenStream,
+    seq: usize,
+    max_windows: usize,
+) -> (f32, usize) {
+    assert!(seq > 0, "seq must be positive");
+    assert!(
+        stream.len() > seq,
+        "stream of {} tokens too short for windows of {seq}",
+        stream.len()
+    );
+    let mut ctx = TrainContext::new(params.cfg, 1, seq);
+    let n_windows = {
+        let all = (stream.len() - 1) / seq;
+        if max_windows == 0 {
+            all
+        } else {
+            all.min(max_windows)
+        }
+    };
+    assert!(n_windows > 0, "no complete windows");
+    let mask = vec![true; seq];
+    let mut total = 0.0f64;
+    for w in 0..n_windows {
+        let start = w * seq;
+        let tokens: Vec<u32> = stream.tokens[start..start + seq].to_vec();
+        let targets: Vec<usize> = stream.tokens[start + 1..start + seq + 1]
+            .iter()
+            .map(|&t| t as usize)
+            .collect();
+        total += ctx.loss(params, &tokens, &targets, &mask) as f64;
+    }
+    ((total / n_windows as f64) as f32, n_windows)
+}
+
+/// Perplexity from a mean loss.
+pub fn perplexity(mean_loss: f32) -> f32 {
+    mean_loss.exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::pack_documents;
+    use crate::trainer::{train_lm, BatchSource, TrainerConfig};
+    use astro_model::ModelConfig;
+    use astro_prng::Rng;
+    use astro_tokenizer::{train_bpe, BpeTrainerConfig};
+    use astro_world::{Document, DocumentKind};
+
+    fn setup() -> (astro_tokenizer::Tokenizer, TokenStream, TokenStream) {
+        let astro_text = "the quasar emits gamma rays at redshift two ".repeat(12);
+        let general_text = "people enjoy bread and tea in the morning market ".repeat(12);
+        let tok = train_bpe(
+            &[astro_text.clone(), general_text.clone()],
+            &BpeTrainerConfig {
+                vocab_size: 300,
+                ..Default::default()
+            },
+        );
+        let mk = |text: String| {
+            pack_documents(
+                &tok,
+                &[Document {
+                    kind: DocumentKind::General,
+                    article: None,
+                    text,
+                }],
+            )
+        };
+        (tok.clone(), mk(astro_text), mk(general_text))
+    }
+
+    #[test]
+    fn training_on_astro_reduces_astro_loss_more_than_general() {
+        let (tok, astro, general) = setup();
+        let cfg = ModelConfig::tiny(tok.vocab_size());
+        let mut params = astro_model::Params::init(cfg, &mut Rng::seed_from(1));
+        let (astro_before, _) = held_out_loss(&params, &astro, 16, 0);
+        let (general_before, _) = held_out_loss(&params, &general, 16, 0);
+        train_lm(
+            &mut params,
+            BatchSource::Lm(&astro),
+            &TrainerConfig {
+                lr: 5e-3,
+                batch: 4,
+                seq: 16,
+                steps: 60,
+                bf16_weights: false,
+                ..Default::default()
+            },
+            &Rng::seed_from(2),
+        );
+        let (astro_after, _) = held_out_loss(&params, &astro, 16, 0);
+        let (general_after, _) = held_out_loss(&params, &general, 16, 0);
+        let astro_gain = astro_before - astro_after;
+        let general_gain = general_before - general_after;
+        assert!(astro_gain > 0.5, "astro loss should drop a lot: {astro_before} → {astro_after}");
+        assert!(
+            astro_gain > general_gain,
+            "specialisation: astro gain {astro_gain} vs general gain {general_gain}"
+        );
+    }
+
+    #[test]
+    fn max_windows_limits_evaluation() {
+        let (tok, astro, _) = setup();
+        let cfg = ModelConfig::tiny(tok.vocab_size());
+        let params = astro_model::Params::init(cfg, &mut Rng::seed_from(3));
+        let (_, all) = held_out_loss(&params, &astro, 16, 0);
+        let (_, limited) = held_out_loss(&params, &astro, 16, 2);
+        assert!(all > 2);
+        assert_eq!(limited, 2);
+    }
+
+    #[test]
+    fn untrained_loss_is_near_uniform() {
+        let (tok, astro, _) = setup();
+        let cfg = ModelConfig::tiny(tok.vocab_size());
+        let params = astro_model::Params::init(cfg, &mut Rng::seed_from(4));
+        let (loss, _) = held_out_loss(&params, &astro, 16, 0);
+        let uniform = (tok.vocab_size() as f32).ln();
+        assert!((loss - uniform).abs() < 0.6, "{loss} vs ln(V)={uniform}");
+    }
+
+    #[test]
+    fn perplexity_is_exp_of_loss() {
+        assert!((perplexity(0.0) - 1.0).abs() < 1e-6);
+        assert!((perplexity(2.0) - 2.0f32.exp()).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn short_stream_panics() {
+        let (tok, _, _) = setup();
+        let cfg = ModelConfig::tiny(tok.vocab_size());
+        let params = astro_model::Params::init(cfg, &mut Rng::seed_from(5));
+        let tiny = TokenStream { tokens: vec![1, 2, 3] };
+        held_out_loss(&params, &tiny, 16, 0);
+    }
+}

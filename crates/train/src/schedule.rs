@@ -1,0 +1,87 @@
+//! Learning-rate schedule: linear warmup then cosine decay (paper §III:
+//! "warmup ratio of 0.03" and "a cosine decay schedule", after Loshchilov
+//! & Hutter 2016).
+
+/// A warmup + cosine-decay schedule.
+#[derive(Clone, Copy, Debug)]
+pub struct CosineSchedule {
+    /// Peak learning rate.
+    pub base_lr: f32,
+    /// Final learning rate as a fraction of `base_lr`.
+    pub min_lr_frac: f32,
+    /// Total optimizer steps.
+    pub total_steps: u64,
+    /// Warmup steps (ratio × total, at least 1 when total > 0).
+    pub warmup_steps: u64,
+}
+
+impl CosineSchedule {
+    /// Build from a warmup *ratio* (the paper uses 0.03).
+    pub fn new(base_lr: f32, total_steps: u64, warmup_ratio: f64) -> Self {
+        let warmup_steps = ((total_steps as f64 * warmup_ratio).round() as u64).max(1);
+        CosineSchedule {
+            base_lr,
+            min_lr_frac: 0.1,
+            total_steps: total_steps.max(1),
+            warmup_steps: warmup_steps.min(total_steps.max(1)),
+        }
+    }
+
+    /// Learning rate at 0-based step `t`.
+    pub fn lr_at(&self, t: u64) -> f32 {
+        if t < self.warmup_steps {
+            // Linear ramp from base_lr/warmup to base_lr.
+            return self.base_lr * (t + 1) as f32 / self.warmup_steps as f32;
+        }
+        let t = t.min(self.total_steps);
+        let progress =
+            (t - self.warmup_steps) as f32 / (self.total_steps - self.warmup_steps).max(1) as f32;
+        let cos = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
+        let min_lr = self.base_lr * self.min_lr_frac;
+        min_lr + (self.base_lr - min_lr) * cos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_ramps_to_peak() {
+        let s = CosineSchedule::new(1.0, 100, 0.1);
+        assert!(s.lr_at(0) < s.lr_at(5));
+        assert!((s.lr_at(9) - 1.0).abs() < 1e-6, "peak at end of warmup");
+    }
+
+    #[test]
+    fn decays_after_warmup() {
+        let s = CosineSchedule::new(1.0, 100, 0.03);
+        assert!(s.lr_at(50) < s.lr_at(10));
+        assert!(s.lr_at(99) < s.lr_at(50));
+    }
+
+    #[test]
+    fn floor_is_min_lr() {
+        let s = CosineSchedule::new(2.0, 100, 0.03);
+        let end = s.lr_at(100);
+        assert!((end - 2.0 * s.min_lr_frac).abs() < 1e-5, "end lr {end}");
+        // Beyond the horizon it stays at the floor.
+        assert_eq!(s.lr_at(5000), end);
+    }
+
+    #[test]
+    fn lr_always_positive_and_bounded() {
+        let s = CosineSchedule::new(3e-4, 1000, 0.03);
+        for t in 0..1200 {
+            let lr = s.lr_at(t);
+            assert!(lr > 0.0 && lr <= 3e-4 + 1e-9, "step {t}: {lr}");
+        }
+    }
+
+    #[test]
+    fn degenerate_single_step() {
+        let s = CosineSchedule::new(1.0, 1, 0.03);
+        let lr = s.lr_at(0);
+        assert!(lr > 0.0 && lr <= 1.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Astronomical entities: object classes and deterministic name
+//! generation.
+//!
+//! Names follow real catalogue conventions (NGC, PSR, HD, ...) so the
+//! corpus "reads like" astronomy, but every name is synthetic. Names are
+//! kept short and numeric-suffixed so a small BPE vocabulary tokenises
+//! them into a handful of stable tokens.
+
+use astro_prng::Rng;
+
+/// The class of an astronomical object, which determines its catalogue
+/// prefix and which relations apply to it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EntityClass {
+    /// Spiral/elliptical galaxies (NGC catalogue).
+    Galaxy,
+    /// Main-sequence or evolved stars (HD catalogue).
+    Star,
+    /// Pulsars (PSR catalogue).
+    Pulsar,
+    /// Supernovae (SN designations).
+    Supernova,
+    /// Quasars / AGN (QSO designations).
+    Quasar,
+    /// Star-forming nebulae (LBN catalogue).
+    Nebula,
+    /// Galaxy clusters (Abell catalogue).
+    Cluster,
+    /// Exoplanets (Kepler-style designations).
+    Exoplanet,
+}
+
+/// All entity classes, in declaration order.
+pub const CLASSES: [EntityClass; 8] = [
+    EntityClass::Galaxy,
+    EntityClass::Star,
+    EntityClass::Pulsar,
+    EntityClass::Supernova,
+    EntityClass::Quasar,
+    EntityClass::Nebula,
+    EntityClass::Cluster,
+    EntityClass::Exoplanet,
+];
+
+impl EntityClass {
+    /// Catalogue prefix used in generated names.
+    pub fn prefix(self) -> &'static str {
+        match self {
+            EntityClass::Galaxy => "NGC",
+            EntityClass::Star => "HD",
+            EntityClass::Pulsar => "PSR",
+            EntityClass::Supernova => "SN",
+            EntityClass::Quasar => "QSO",
+            EntityClass::Nebula => "LBN",
+            EntityClass::Cluster => "Abell",
+            EntityClass::Exoplanet => "Kepler",
+        }
+    }
+
+    /// Human-readable class noun used in generated prose.
+    pub fn noun(self) -> &'static str {
+        match self {
+            EntityClass::Galaxy => "galaxy",
+            EntityClass::Star => "star",
+            EntityClass::Pulsar => "pulsar",
+            EntityClass::Supernova => "supernova",
+            EntityClass::Quasar => "quasar",
+            EntityClass::Nebula => "nebula",
+            EntityClass::Cluster => "cluster",
+            EntityClass::Exoplanet => "exoplanet",
+        }
+    }
+}
+
+/// One astronomical object.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Entity {
+    /// Index into `World::entities`.
+    pub id: usize,
+    /// Catalogue-style designation, e.g. `NGC-382`.
+    pub name: String,
+    /// Object class.
+    pub class: EntityClass,
+}
+
+/// Deterministically generate `n` entities with unique names, cycling
+/// through classes so every class is represented.
+pub fn generate_entities(root: &Rng, n: usize) -> Vec<Entity> {
+    let mut rng = root.substream("entities");
+    let mut used = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(n);
+    for id in 0..n {
+        let class = CLASSES[id % CLASSES.len()];
+        // Catalogue numbers: 3–4 digits, unique per name.
+        let name = loop {
+            let num = rng.range_u64(100, 9999);
+            let candidate = format!("{}-{}", class.prefix(), num);
+            if used.insert(candidate.clone()) {
+                break candidate;
+            }
+        };
+        out.push(Entity { id, name, class });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let root = Rng::seed_from(1);
+        let es = generate_entities(&root, 500);
+        let mut names: Vec<&str> = es.iter().map(|e| e.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 500);
+    }
+
+    #[test]
+    fn all_classes_present() {
+        let root = Rng::seed_from(2);
+        let es = generate_entities(&root, 16);
+        for class in CLASSES {
+            assert!(es.iter().any(|e| e.class == class), "{class:?} missing");
+        }
+    }
+
+    #[test]
+    fn names_use_class_prefix() {
+        let root = Rng::seed_from(3);
+        let es = generate_entities(&root, 40);
+        for e in &es {
+            assert!(
+                e.name.starts_with(e.class.prefix()),
+                "{} does not match {:?}",
+                e.name,
+                e.class
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_entities(&Rng::seed_from(9), 30);
+        let b = generate_entities(&Rng::seed_from(9), 30);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let es = generate_entities(&Rng::seed_from(4), 10);
+        for (i, e) in es.iter().enumerate() {
+            assert_eq!(e.id, i);
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! The astro fact graph: relations, value pools, tiers, and sentence
+//! rendering.
+//!
+//! A fact is a triple *(entity, relation, value)* with a tier that
+//! controls where in the text universe it surfaces. Relations carry small
+//! categorical value pools whose entries share a common format — this is
+//! what lets the MCQ generator build distractor options "of equal length,
+//! preventing easy elimination based on superficial characteristics"
+//! (paper §IV).
+
+use crate::entities::Entity;
+use astro_prng::Rng;
+
+/// An attribute an astronomical object can have.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// Cosmological redshift.
+    Redshift,
+    /// Characteristic mass.
+    Mass,
+    /// Dominant emission band.
+    Emission,
+    /// Morphological type.
+    Morphology,
+    /// Host constellation.
+    Constellation,
+    /// Rotation/pulse period.
+    Period,
+    /// Metallicity.
+    Metallicity,
+    /// Distance from the Sun.
+    Distance,
+    /// Effective temperature.
+    Temperature,
+    /// Age.
+    Age,
+    /// Instrument credited with the discovery.
+    Instrument,
+}
+
+/// All relations in declaration order.
+pub const RELATIONS: [Relation; 11] = [
+    Relation::Redshift,
+    Relation::Mass,
+    Relation::Emission,
+    Relation::Morphology,
+    Relation::Constellation,
+    Relation::Period,
+    Relation::Metallicity,
+    Relation::Distance,
+    Relation::Temperature,
+    Relation::Age,
+    Relation::Instrument,
+];
+
+impl Relation {
+    /// The noun phrase used in questions and fact sentences.
+    pub fn phrase(self) -> &'static str {
+        match self {
+            Relation::Redshift => "redshift",
+            Relation::Mass => "characteristic mass",
+            Relation::Emission => "dominant emission band",
+            Relation::Morphology => "morphology",
+            Relation::Constellation => "host constellation",
+            Relation::Period => "rotation period",
+            Relation::Metallicity => "metallicity",
+            Relation::Distance => "distance",
+            Relation::Temperature => "effective temperature",
+            Relation::Age => "age",
+            Relation::Instrument => "discovery instrument",
+        }
+    }
+
+    /// The closed value pool for this relation. All entries of a pool
+    /// share a format, so MCQ options look homogeneous.
+    pub fn values(self) -> &'static [&'static str] {
+        match self {
+            Relation::Redshift => &[
+                "0.05", "0.12", "0.27", "0.45", "0.68", "0.91", "1.2", "1.7", "2.3", "3.1",
+            ],
+            Relation::Mass => &[
+                "0.3 Msun", "0.8 Msun", "1.4 Msun", "2.5 Msun", "8 Msun", "20 Msun", "60 Msun",
+            ],
+            Relation::Emission => &[
+                "radio", "X-ray", "optical", "infrared", "ultraviolet", "gamma-ray",
+            ],
+            Relation::Morphology => &[
+                "spiral", "elliptical", "irregular", "lenticular", "barred", "ring",
+            ],
+            Relation::Constellation => &[
+                "Orion", "Cygnus", "Lyra", "Vela", "Draco", "Carina", "Fornax", "Pavo",
+            ],
+            Relation::Period => &["1.3 ms", "4.7 ms", "33 ms", "0.7 s", "1.4 s", "5.2 s"],
+            Relation::Metallicity => &[
+                "-2.1 dex", "-1.4 dex", "-0.7 dex", "0.0 dex", "+0.3 dex",
+            ],
+            Relation::Distance => &[
+                "12 pc", "140 pc", "2.1 kpc", "16 kpc", "770 kpc", "54 Mpc",
+            ],
+            Relation::Temperature => &["3200 K", "5800 K", "9900 K", "15000 K", "31000 K"],
+            Relation::Age => &["2 Myr", "45 Myr", "600 Myr", "3 Gyr", "9 Gyr", "13 Gyr"],
+            Relation::Instrument => &[
+                "Hubble", "Chandra", "VLA", "ALMA", "Gaia", "JWST", "Arecibo", "Keck",
+            ],
+        }
+    }
+}
+
+/// Where in the text universe a fact surfaces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FactTier {
+    /// Textbook knowledge: present in the general pretraining corpus *and*
+    /// in astro-ph documents. Native models can know these.
+    Consensus,
+    /// Research results: present only in astro-ph abstracts, intros and
+    /// conclusions (all CPT recipes see them).
+    Frontier,
+    /// Full-text-only details: only the Summary recipe (which summarises
+    /// whole papers) surfaces them.
+    Detail,
+}
+
+/// One *(entity, relation, value)* fact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fact {
+    /// Index into `World::facts`.
+    pub id: usize,
+    /// Index into `World::entities`.
+    pub entity: usize,
+    /// The attribute.
+    pub relation: Relation,
+    /// The attribute's value (an entry of `relation.values()`).
+    pub value: &'static str,
+    /// Visibility tier.
+    pub tier: FactTier,
+}
+
+/// How many relations each entity receives.
+const RELATIONS_PER_ENTITY: usize = 5;
+
+/// Generate the fact graph: each entity gets `RELATIONS_PER_ENTITY`
+/// distinct relations with uniformly sampled values; tiers are assigned by
+/// the configured fractions.
+pub fn generate_facts(
+    root: &Rng,
+    entities: &[Entity],
+    consensus_fraction: f64,
+    detail_fraction: f64,
+) -> Vec<Fact> {
+    let mut rng = root.substream("facts");
+    let mut out = Vec::with_capacity(entities.len() * RELATIONS_PER_ENTITY);
+    for entity in entities {
+        let picks = rng.sample_indices(RELATIONS.len(), RELATIONS_PER_ENTITY);
+        for rel_idx in picks {
+            let relation = RELATIONS[rel_idx];
+            let value = *rng.choose(relation.values());
+            let roll = rng.f64();
+            let tier = if roll < consensus_fraction {
+                FactTier::Consensus
+            } else if roll < consensus_fraction + detail_fraction {
+                FactTier::Detail
+            } else {
+                FactTier::Frontier
+            };
+            let id = out.len();
+            out.push(Fact {
+                id,
+                entity: entity.id,
+                relation,
+                value,
+                tier,
+            });
+        }
+    }
+    out
+}
+
+/// Number of distinct declarative templates used by [`render_fact`].
+pub const FACT_TEMPLATES: usize = 4;
+
+/// Render a fact as a declarative sentence using one of several phrasing
+/// templates (template choice via `rng` gives the corpus surface variety).
+pub fn render_fact(entity: &Entity, fact: &Fact, rng: &mut Rng) -> String {
+    let rel = fact.relation.phrase();
+    let name = &entity.name;
+    let val = fact.value;
+    match rng.index(FACT_TEMPLATES) {
+        0 => format!("The {rel} of {name} is {val}."),
+        1 => format!("{name} has a {rel} of {val}."),
+        2 => format!("Measurements indicate that the {rel} of {name} is {val}."),
+        _ => format!("The {} {name} shows a {rel} of {val}.", entity.class.noun()),
+    }
+}
+
+/// Render the canonical question form for a fact (used both by the MCQ
+/// generator and by the exam-format primer in the general corpus, so the
+/// surface form the models are evaluated on is the surface form they can
+/// learn).
+pub fn render_question(entity: &Entity, relation: Relation) -> String {
+    format!("What is the {} of {}?", relation.phrase(), entity.name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entities::generate_entities;
+
+    fn setup() -> (Vec<Entity>, Vec<Fact>) {
+        let root = Rng::seed_from(11);
+        let es = generate_entities(&root, 50);
+        let fs = generate_facts(&root, &es, 0.5, 0.2);
+        (es, fs)
+    }
+
+    #[test]
+    fn each_entity_gets_distinct_relations() {
+        let (_, fs) = setup();
+        for eid in 0..50 {
+            let rels: Vec<Relation> = fs
+                .iter()
+                .filter(|f| f.entity == eid)
+                .map(|f| f.relation)
+                .collect();
+            assert_eq!(rels.len(), RELATIONS_PER_ENTITY);
+            let mut d = rels.clone();
+            d.sort_by_key(|r| r.phrase());
+            d.dedup();
+            assert_eq!(d.len(), RELATIONS_PER_ENTITY, "duplicate relation for entity {eid}");
+        }
+    }
+
+    #[test]
+    fn values_come_from_relation_pool() {
+        let (_, fs) = setup();
+        for f in &fs {
+            assert!(f.relation.values().contains(&f.value));
+        }
+    }
+
+    #[test]
+    fn fact_ids_sequential() {
+        let (_, fs) = setup();
+        for (i, f) in fs.iter().enumerate() {
+            assert_eq!(f.id, i);
+        }
+    }
+
+    #[test]
+    fn value_pools_have_at_least_four_options() {
+        // The MCQ generator needs 4 options per question.
+        for rel in RELATIONS {
+            assert!(rel.values().len() >= 4, "{rel:?} pool too small");
+        }
+    }
+
+    #[test]
+    fn value_pools_have_no_duplicates() {
+        for rel in RELATIONS {
+            let mut vals = rel.values().to_vec();
+            vals.sort_unstable();
+            vals.dedup();
+            assert_eq!(vals.len(), rel.values().len(), "{rel:?} has duplicate values");
+        }
+    }
+
+    #[test]
+    fn render_question_is_stable() {
+        let (es, _) = setup();
+        let q = render_question(&es[0], Relation::Redshift);
+        assert_eq!(q, format!("What is the redshift of {}?", es[0].name));
+    }
+
+    #[test]
+    fn all_templates_reachable() {
+        let (es, fs) = setup();
+        let mut seen = std::collections::HashSet::new();
+        let mut rng = Rng::seed_from(0);
+        for _ in 0..200 {
+            seen.insert(render_fact(&es[fs[0].entity], &fs[0], &mut rng));
+        }
+        assert_eq!(seen.len(), FACT_TEMPLATES);
+    }
+}

@@ -1,0 +1,204 @@
+//! The everyday-knowledge world behind the general pretraining corpus and
+//! the general instruction datasets (the LIMA / Open Orca / UltraChat
+//! stand-ins).
+//!
+//! Structurally a twin of the astro fact graph, but over mundane entities
+//! (countries, materials, dishes, ...). Native models are pretrained on
+//! text rendered from these facts plus the consensus astronomy tier; CPT
+//! on astro-only text then *displaces* this distribution — the mechanism
+//! behind the paper's catastrophic-forgetting observation.
+
+use astro_prng::Rng;
+
+/// Everyday attribute kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GeneralRelation {
+    /// Capital city of a country.
+    Capital,
+    /// Currency of a country.
+    Currency,
+    /// Primary colour association of an item.
+    Color,
+    /// Principal material of an object.
+    Material,
+    /// Continent of a country.
+    Continent,
+    /// Flavour profile of a dish.
+    Flavor,
+}
+
+/// All general relations in declaration order.
+pub const GENERAL_RELATIONS: [GeneralRelation; 6] = [
+    GeneralRelation::Capital,
+    GeneralRelation::Currency,
+    GeneralRelation::Color,
+    GeneralRelation::Material,
+    GeneralRelation::Continent,
+    GeneralRelation::Flavor,
+];
+
+impl GeneralRelation {
+    /// Noun phrase for questions/sentences.
+    pub fn phrase(self) -> &'static str {
+        match self {
+            GeneralRelation::Capital => "capital",
+            GeneralRelation::Currency => "currency",
+            GeneralRelation::Color => "typical color",
+            GeneralRelation::Material => "main material",
+            GeneralRelation::Continent => "continent",
+            GeneralRelation::Flavor => "flavor profile",
+        }
+    }
+
+    /// Closed value pool.
+    pub fn values(self) -> &'static [&'static str] {
+        match self {
+            GeneralRelation::Capital => &[
+                "Avala", "Brinport", "Corvale", "Dunmar", "Elstrand", "Farholm", "Gellica",
+                "Hartvale",
+            ],
+            GeneralRelation::Currency => &[
+                "crown", "mark", "peso", "dinar", "florin", "talent",
+            ],
+            GeneralRelation::Color => &[
+                "red", "blue", "green", "yellow", "purple", "orange", "silver",
+            ],
+            GeneralRelation::Material => &[
+                "oak", "steel", "glass", "ceramic", "wool", "granite",
+            ],
+            GeneralRelation::Continent => &[
+                "Vestria", "Ostara", "Meridia", "Borealia", "Zephyria",
+            ],
+            GeneralRelation::Flavor => &[
+                "sweet", "savory", "bitter", "smoky", "tangy", "spicy",
+            ],
+        }
+    }
+
+    /// Name stem used when generating entity names for this relation's
+    /// typical subject.
+    fn subject_stem(self) -> &'static str {
+        match self {
+            GeneralRelation::Capital | GeneralRelation::Currency | GeneralRelation::Continent => {
+                "Land"
+            }
+            GeneralRelation::Color => "Stone",
+            GeneralRelation::Material => "Tool",
+            GeneralRelation::Flavor => "Dish",
+        }
+    }
+}
+
+/// One everyday fact: a named subject with a relation and value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GeneralFact {
+    /// Index into `World::general_facts`.
+    pub id: usize,
+    /// Synthetic subject name, e.g. `Land-47`.
+    pub subject: String,
+    /// The attribute.
+    pub relation: GeneralRelation,
+    /// The value (an entry of `relation.values()`).
+    pub value: &'static str,
+}
+
+/// Generate `n_subjects` everyday subjects, each with one fact per
+/// applicable relation bucket (one relation sampled per subject, three
+/// facts for country-like subjects).
+pub fn generate_general_facts(root: &Rng, n_subjects: usize) -> Vec<GeneralFact> {
+    let mut rng = root.substream("general-facts");
+    let mut out = Vec::with_capacity(n_subjects * 2);
+    for i in 0..n_subjects {
+        let relation = GENERAL_RELATIONS[rng.index(GENERAL_RELATIONS.len())];
+        let subject = format!("{}-{}", relation.subject_stem(), i);
+        let value = *rng.choose(relation.values());
+        out.push(GeneralFact {
+            id: out.len(),
+            subject: subject.clone(),
+            relation,
+            value,
+        });
+        // Country-like subjects get the full attribute set, mirroring how
+        // real general corpora repeat facts about prominent entities.
+        if relation == GeneralRelation::Capital {
+            for extra in [GeneralRelation::Currency, GeneralRelation::Continent] {
+                let value = *rng.choose(extra.values());
+                out.push(GeneralFact {
+                    id: out.len(),
+                    subject: subject.clone(),
+                    relation: extra,
+                    value,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Render an everyday fact as a sentence.
+pub fn render_general_fact(fact: &GeneralFact, rng: &mut Rng) -> String {
+    let rel = fact.relation.phrase();
+    let s = &fact.subject;
+    let v = fact.value;
+    match rng.index(3) {
+        0 => format!("The {rel} of {s} is {v}."),
+        1 => format!("{s} has a {rel} of {v}."),
+        _ => format!("Everyone knows the {rel} of {s} is {v}."),
+    }
+}
+
+/// Canonical question form for an everyday fact.
+pub fn render_general_question(fact: &GeneralFact) -> String {
+    format!("What is the {} of {}?", fact.relation.phrase(), fact.subject)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = generate_general_facts(&Rng::seed_from(1), 50);
+        let b = generate_general_facts(&Rng::seed_from(1), 50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn values_in_pools() {
+        let fs = generate_general_facts(&Rng::seed_from(2), 80);
+        for f in &fs {
+            assert!(f.relation.values().contains(&f.value));
+        }
+    }
+
+    #[test]
+    fn country_subjects_get_three_facts() {
+        let fs = generate_general_facts(&Rng::seed_from(3), 200);
+        let capitals: Vec<&GeneralFact> = fs
+            .iter()
+            .filter(|f| f.relation == GeneralRelation::Capital)
+            .collect();
+        assert!(!capitals.is_empty());
+        for cap in capitals {
+            let n = fs.iter().filter(|f| f.subject == cap.subject).count();
+            assert_eq!(n, 3, "{} should have 3 facts", cap.subject);
+        }
+    }
+
+    #[test]
+    fn pools_have_four_options_for_mcq_primer() {
+        for rel in GENERAL_RELATIONS {
+            assert!(rel.values().len() >= 4);
+        }
+    }
+
+    #[test]
+    fn render_contains_subject_and_value() {
+        let fs = generate_general_facts(&Rng::seed_from(4), 10);
+        let mut rng = Rng::seed_from(0);
+        for f in &fs {
+            let s = render_general_fact(f, &mut rng);
+            assert!(s.contains(&f.subject) && s.contains(f.value), "{s}");
+        }
+    }
+}

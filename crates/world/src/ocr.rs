@@ -1,0 +1,203 @@
+//! The LaTeX-artefact / OCR noise channel.
+//!
+//! The original AstroLLaMA AIC dataset came from algorithmically cleaned
+//! arXiv LaTeX sources and retained artefacts; the paper's follow-up ran
+//! Nougat OCR over PDFs to obtain cleaner text. We model both ends:
+//! [`noisify`] injects LaTeX-ish artefacts and character corruptions at
+//! configurable rates, and [`clean_ocr`] is the Nougat stand-in that strips
+//! most (not all) of them.
+
+use astro_prng::Rng;
+
+/// Noise-injection rates, all per-word probabilities.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NoiseConfig {
+    /// Probability of inserting a LaTeX artefact token after a word
+    /// (`\cite{...}`, `$\sim$`, `\ref{fig}` ...).
+    pub latex_rate: f64,
+    /// Probability of corrupting a word (dropping/garbling characters —
+    /// the OCR failure mode).
+    pub corruption_rate: f64,
+    /// Probability of a spurious hyphen-linebreak inside a word.
+    pub hyphenation_rate: f64,
+}
+
+impl NoiseConfig {
+    /// No noise at all (LLM-summary quality).
+    pub fn clean() -> Self {
+        NoiseConfig {
+            latex_rate: 0.0,
+            corruption_rate: 0.0,
+            hyphenation_rate: 0.0,
+        }
+    }
+
+    /// The LaTeX-derived AIC data quality of refs [27]/[28].
+    pub fn latex_artifacts() -> Self {
+        NoiseConfig {
+            latex_rate: 0.08,
+            corruption_rate: 0.02,
+            hyphenation_rate: 0.02,
+        }
+    }
+
+    /// Heavier raw-OCR noise, for the data-quality ablation.
+    pub fn heavy_ocr() -> Self {
+        NoiseConfig {
+            latex_rate: 0.12,
+            corruption_rate: 0.08,
+            hyphenation_rate: 0.05,
+        }
+    }
+}
+
+/// Artefacts injected by the LaTeX channel. Kept as fixed strings so the
+/// cleaner can recognise them.
+const LATEX_ARTIFACTS: [&str; 6] = [
+    "\\cite{ref}",
+    "$\\sim$",
+    "\\ref{fig}",
+    "{\\it et al.}",
+    "\\footnote{1}",
+    "$\\alpha$",
+];
+
+/// Inject noise into text word-by-word.
+pub fn noisify(text: &str, config: &NoiseConfig, rng: &mut Rng) -> String {
+    if config.latex_rate == 0.0 && config.corruption_rate == 0.0 && config.hyphenation_rate == 0.0 {
+        return text.to_string();
+    }
+    let mut out = String::with_capacity(text.len() + text.len() / 8);
+    for (i, word) in text.split(' ').enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        if rng.chance(config.corruption_rate) && word.len() > 2 {
+            // Drop one interior character (classic OCR garble).
+            let chars: Vec<char> = word.chars().collect();
+            let drop = 1 + rng.index(chars.len().saturating_sub(2).max(1));
+            for (j, c) in chars.iter().enumerate() {
+                if j != drop {
+                    out.push(*c);
+                }
+            }
+        } else if rng.chance(config.hyphenation_rate) && word.len() > 4 {
+            let chars: Vec<char> = word.chars().collect();
+            let split = 2 + rng.index(chars.len() - 3);
+            for c in &chars[..split] {
+                out.push(*c);
+            }
+            out.push_str("-\n");
+            for c in &chars[split..] {
+                out.push(*c);
+            }
+        } else {
+            out.push_str(word);
+        }
+        if rng.chance(config.latex_rate) {
+            out.push(' ');
+            out.push_str(LATEX_ARTIFACTS[rng.index(LATEX_ARTIFACTS.len())]);
+        }
+    }
+    out
+}
+
+/// The Nougat-OCR stand-in: strip recognised LaTeX artefacts and repair
+/// hyphen-linebreaks. Character garbles (information already lost) cannot
+/// be repaired, mirroring real OCR limits.
+pub fn clean_ocr(text: &str) -> String {
+    let mut s = text.to_string();
+    for artefact in LATEX_ARTIFACTS {
+        s = s.replace(&format!(" {artefact}"), "");
+        s = s.replace(artefact, "");
+    }
+    // Repair hyphenation.
+    s = s.replace("-\n", "");
+    // Collapse double spaces left by removals.
+    while s.contains("  ") {
+        s = s.replace("  ", " ");
+    }
+    s.trim().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "The redshift of NGC-382 is 0.45. Measurements indicate that the \
+                          distance of Abell-221 is 54 Mpc.";
+
+    #[test]
+    fn clean_config_is_identity() {
+        let mut rng = Rng::seed_from(1);
+        assert_eq!(noisify(SAMPLE, &NoiseConfig::clean(), &mut rng), SAMPLE);
+    }
+
+    #[test]
+    fn latex_config_injects_artifacts() {
+        let mut rng = Rng::seed_from(2);
+        let long = SAMPLE.repeat(20);
+        let noisy = noisify(&long, &NoiseConfig::latex_artifacts(), &mut rng);
+        assert!(noisy.len() > long.len());
+        assert!(noisy.contains('\\') || noisy.contains('$'), "no artefacts injected");
+    }
+
+    #[test]
+    fn heavy_ocr_corrupts_more_than_latex() {
+        let long = SAMPLE.repeat(30);
+        let mut r1 = Rng::seed_from(3);
+        let mut r2 = Rng::seed_from(3);
+        let light = noisify(&long, &NoiseConfig::latex_artifacts(), &mut r1);
+        let heavy = noisify(&long, &NoiseConfig::heavy_ocr(), &mut r2);
+        let diff = |a: &str| {
+            a.split(' ')
+                .zip(long.split(' '))
+                .filter(|(x, y)| x != y)
+                .count()
+        };
+        assert!(diff(&heavy) >= diff(&light));
+    }
+
+    #[test]
+    fn cleaner_removes_artifacts() {
+        let mut rng = Rng::seed_from(4);
+        let long = SAMPLE.repeat(10);
+        let noisy = noisify(&long, &NoiseConfig::latex_artifacts(), &mut rng);
+        let cleaned = clean_ocr(&noisy);
+        assert!(!cleaned.contains('\\'));
+        assert!(!cleaned.contains("-\n"));
+    }
+
+    #[test]
+    fn cleaner_cannot_undo_garbles() {
+        // A corruption-only channel loses characters; the cleaner must not
+        // (and cannot) restore them.
+        let cfg = NoiseConfig {
+            latex_rate: 0.0,
+            corruption_rate: 1.0,
+            hyphenation_rate: 0.0,
+        };
+        let mut rng = Rng::seed_from(5);
+        let noisy = noisify("important measurement results", &cfg, &mut rng);
+        let cleaned = clean_ocr(&noisy);
+        assert_ne!(cleaned, "important measurement results");
+    }
+
+    #[test]
+    fn cleaner_is_idempotent() {
+        let mut rng = Rng::seed_from(6);
+        let noisy = noisify(&SAMPLE.repeat(5), &NoiseConfig::latex_artifacts(), &mut rng);
+        let once = clean_ocr(&noisy);
+        assert_eq!(clean_ocr(&once), once);
+    }
+
+    #[test]
+    fn noise_is_deterministic_in_seed() {
+        let mut a = Rng::seed_from(7);
+        let mut b = Rng::seed_from(7);
+        assert_eq!(
+            noisify(SAMPLE, &NoiseConfig::heavy_ocr(), &mut a),
+            noisify(SAMPLE, &NoiseConfig::heavy_ocr(), &mut b)
+        );
+    }
+}

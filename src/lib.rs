@@ -1,0 +1,7 @@
+//! Umbrella package for the AstroMLab 2 reproduction.
+//!
+//! The actual functionality lives in the workspace crates; this package
+//! hosts the runnable `examples/` and cross-crate integration `tests/`.
+//! See [`astromlab`] for the top-level API.
+
+pub use astromlab;

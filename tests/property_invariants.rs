@@ -1,0 +1,210 @@
+//! Property-based tests over cross-crate invariants (proptest).
+
+use astro_prng::Rng;
+use astro_tensor::bf16::{bf16_from_bits, bf16_round};
+use astro_tensor::matmul::{matmul, matmul_a_bt, matmul_at_b};
+use astro_tokenizer::{train_bpe, BpeTrainerConfig, Tokenizer};
+use proptest::prelude::*;
+
+fn reference_matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = 0.0f64;
+            for kk in 0..k {
+                s += (a[i * k + kk] as f64) * (b[kk * n + j] as f64);
+            }
+            out[i * n + j] = s as f32;
+        }
+    }
+    out
+}
+
+fn shared_tokenizer() -> Tokenizer {
+    train_bpe(
+        &["the star of the galaxy shines on the answer A B C D ".repeat(4)],
+        &BpeTrainerConfig {
+            vocab_size: 300,
+            min_pair_count: 2,
+            ensure_pieces: Vec::new(),
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Blocked matmul agrees with the naive reference for random shapes.
+    #[test]
+    fn matmul_matches_reference(
+        m in 1usize..12,
+        k in 1usize..80,
+        n in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.gauss_f32()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.gauss_f32()).collect();
+        let want = reference_matmul(&a, &b, m, k, n);
+        let mut got = vec![0.0f32; m * n];
+        matmul(&mut got, &a, &b, m, k, n);
+        for (g, w) in got.iter().zip(want.iter()) {
+            prop_assert!((g - w).abs() < 1e-3 * (1.0 + w.abs()), "{g} vs {w}");
+        }
+    }
+
+    /// The three orientations are consistent: (a·bᵀ)ᵀ == b·aᵀ and
+    /// aᵀ·b computed via at_b equals the reference on transposed input.
+    #[test]
+    fn matmul_orientations_consistent(
+        m in 1usize..8,
+        k in 1usize..24,
+        n in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.gauss_f32()).collect();
+        let bt: Vec<f32> = (0..n * k).map(|_| rng.gauss_f32()).collect();
+        // via a_bt
+        let mut ab = vec![0.0f32; m * n];
+        matmul_a_bt(&mut ab, &a, &bt, m, k, n);
+        // reference: build b (k×n) explicitly
+        let mut b = vec![0.0f32; k * n];
+        for j in 0..n {
+            for kk in 0..k {
+                b[kk * n + j] = bt[j * k + kk];
+            }
+        }
+        let want = reference_matmul(&a, &b, m, k, n);
+        for (g, w) in ab.iter().zip(want.iter()) {
+            prop_assert!((g - w).abs() < 1e-3 * (1.0 + w.abs()));
+        }
+        // at_b: (aᵀ)ᵀ·b == a·b
+        let mut at = vec![0.0f32; k * m];
+        for i in 0..m {
+            for kk in 0..k {
+                at[kk * m + i] = a[i * k + kk];
+            }
+        }
+        let mut atb = vec![0.0f32; m * n];
+        matmul_at_b(&mut atb, &at, &b, m, k, n);
+        for (g, w) in atb.iter().zip(want.iter()) {
+            prop_assert!((g - w).abs() < 1e-3 * (1.0 + w.abs()));
+        }
+    }
+
+    /// bf16 rounding is idempotent, monotone and within half-ULP.
+    #[test]
+    fn bf16_round_properties(bits in any::<u16>(), x in -1e30f32..1e30) {
+        // Idempotence on arbitrary representable values.
+        let v = bf16_from_bits(bits);
+        if v.is_finite() {
+            prop_assert_eq!(bf16_round(v), v);
+        }
+        // Relative error bound for normal values.
+        if x.is_finite() && x.abs() > 1e-30 {
+            let r = bf16_round(x);
+            prop_assert!(((r - x) / x).abs() <= 1.0 / 256.0 + 1e-7);
+        }
+    }
+
+    /// Tokenizer round-trip on arbitrary ASCII-ish text.
+    #[test]
+    fn tokenizer_round_trip(s in "[ -~]{0,200}") {
+        let tok = shared_tokenizer();
+        prop_assert_eq!(tok.decode(&tok.encode(&s)), s);
+    }
+
+    /// Tokenizer round-trip on arbitrary unicode.
+    #[test]
+    fn tokenizer_round_trip_unicode(s in "\\PC{0,60}") {
+        let tok = shared_tokenizer();
+        prop_assert_eq!(tok.decode(&tok.encode(&s)), s);
+    }
+
+    /// Rng::below is always in bounds and Rng::shuffle permutes.
+    #[test]
+    fn rng_bounds_and_shuffle(seed in any::<u64>(), bound in 1u64..10_000) {
+        let mut rng = Rng::seed_from(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+        let mut xs: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+    }
+
+    /// Softmax rows are probability distributions for random logits.
+    #[test]
+    fn softmax_rows_are_distributions(seed in any::<u64>(), n in 1usize..32) {
+        let mut rng = Rng::seed_from(seed);
+        let mut x: Vec<f32> = (0..n).map(|_| (rng.gauss_f32()) * 10.0).collect();
+        astro_tensor::ops::softmax_rows(&mut x, 1, n);
+        let sum: f32 = x.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(x.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    /// Incremental (KV-cache) and batched forward agree for random tiny
+    /// models and random token sequences.
+    #[test]
+    fn incremental_matches_batched_for_random_inputs(
+        seed in 0u64..500,
+        len in 2usize..10,
+    ) {
+        use astro_model::{InferenceSession, ModelConfig, Params, TrainContext};
+        let cfg = ModelConfig::tiny(24);
+        let params = Params::init(cfg, &mut Rng::seed_from(seed));
+        let mut trng = Rng::seed_from(seed ^ 0xdead);
+        let tokens: Vec<u32> = (0..len).map(|_| trng.below(24) as u32).collect();
+        let mut ctx = TrainContext::new(cfg, 1, len);
+        ctx.forward(&params, &tokens);
+        let mut sess = InferenceSession::new(cfg);
+        for (i, &t) in tokens.iter().enumerate() {
+            let logits = sess.feed(&params, t);
+            for (a, b) in logits.iter().zip(ctx.logits[i * 24..(i + 1) * 24].iter()) {
+                prop_assert!((a - b).abs() < 1e-3, "pos {i}");
+            }
+        }
+    }
+
+    /// Cloned inference sessions continue identically (the fork used by
+    /// the option-likelihood readout).
+    #[test]
+    fn session_fork_continues_identically(seed in 0u64..300) {
+        use astro_model::{InferenceSession, ModelConfig, Params};
+        let cfg = ModelConfig::tiny(16);
+        let params = Params::init(cfg, &mut Rng::seed_from(seed));
+        let mut sess = InferenceSession::new(cfg);
+        sess.feed_prompt(&params, &[1, 2, 3]);
+        let mut fork = sess.clone();
+        let a = sess.feed(&params, 5).to_vec();
+        let b = fork.feed(&params, 5).to_vec();
+        prop_assert_eq!(a, b);
+    }
+
+    /// The cosine schedule never exceeds its peak and never hits zero.
+    #[test]
+    fn schedule_bounds(total in 1u64..5000, warmup in 0.0f64..0.5) {
+        use astro_train::CosineSchedule;
+        let s = CosineSchedule::new(1.0, total, warmup);
+        for t in (0..total.min(200)).chain([total, total + 10]) {
+            let lr = s.lr_at(t);
+            prop_assert!(lr > 0.0 && lr <= 1.0 + 1e-6, "t {t}: {lr}");
+        }
+    }
+
+    /// bootstrap CIs always bracket the point estimate.
+    #[test]
+    fn bootstrap_brackets_estimate(seed in any::<u64>(), p in 0.05f64..0.95, n in 10usize..100) {
+        let mut rng = Rng::seed_from(seed);
+        let sample: Vec<bool> = (0..n).map(|_| rng.chance(p)).collect();
+        if sample.iter().any(|&b| b) && sample.iter().any(|&b| !b) {
+            let point = 100.0 * sample.iter().filter(|&&b| b).count() as f64 / n as f64;
+            let (lo, hi) = astro_eval::bootstrap_ci(&sample, 200, 0.95, &mut rng);
+            prop_assert!(lo <= point + 1e-9 && point <= hi + 1e-9, "{lo} {point} {hi}");
+        }
+    }
+}

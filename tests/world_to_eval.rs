@@ -1,0 +1,115 @@
+//! Cross-crate consistency between the world, the benchmark and the
+//! evaluation prompts — the invariants that make the MCQ scores
+//! meaningful.
+
+use astromlab::mcq::prompts::{render_block, token_method_prompt};
+use astromlab::mcq::{McqConfig, McqDataset};
+use astromlab::prng::Rng;
+use astromlab::world::{
+    exam_primer_doc, general_corpus, DocumentKind, FactTier, World, WorldConfig,
+};
+
+fn world_and_dataset(seed: u64) -> (World, McqDataset) {
+    let world = World::generate(seed, WorldConfig::small());
+    let mut rng = Rng::seed_from(seed);
+    let ds = McqDataset::generate(&world, &McqConfig::default(), &mut rng);
+    (world, ds)
+}
+
+#[test]
+fn every_mcq_answer_is_the_world_fact() {
+    let (world, ds) = world_and_dataset(401);
+    for q in &ds.questions {
+        let fact = &world.facts[q.fact];
+        assert_eq!(q.options[q.answer], fact.value);
+        assert!(q.question.contains(&world.entities[fact.entity].name));
+        assert!(q.question.contains(fact.relation.phrase()));
+    }
+}
+
+#[test]
+fn exam_primer_and_eval_prompt_share_the_surface_form() {
+    // The primer documents in the general corpus must use the exact
+    // "Question:/A:/.../Answer:" skeleton the evaluation prompt uses —
+    // otherwise the token method would test an unseen format.
+    let (_, ds) = world_and_dataset(402);
+    let q = &ds.questions[0];
+    let eval_block = render_block(q, false);
+    let primer = exam_primer_doc(
+        &q.question,
+        &[
+            q.options[0].as_str(),
+            q.options[1].as_str(),
+            q.options[2].as_str(),
+            q.options[3].as_str(),
+        ],
+        q.answer,
+    );
+    // The primer is the eval block plus the answer value.
+    assert!(primer.starts_with(&eval_block));
+    assert_eq!(primer.len(), eval_block.len() + 1 + q.options[q.answer].len());
+}
+
+#[test]
+fn general_corpus_primers_parse_as_mcq_blocks() {
+    let world = World::generate(403, WorldConfig::small());
+    let mut rng = Rng::seed_from(403);
+    let docs = general_corpus(&world, 400, &mut rng);
+    let primers: Vec<_> = docs
+        .iter()
+        .filter(|d| d.kind == DocumentKind::ExamPrimer)
+        .collect();
+    assert!(!primers.is_empty());
+    for p in primers {
+        // Each MCQ block uses the canonical skeleton (optionally preceded
+        // by a supporting-fact context line).
+        assert!(p.text.contains("Question: "), "{}", p.text);
+        for letter in ["\nA: ", "\nB: ", "\nC: ", "\nD: "] {
+            assert!(p.text.contains(letter), "{}", p.text);
+        }
+        let last_line = p.text.lines().last().unwrap_or("");
+        assert!(last_line.starts_with("Answer: "), "{}", p.text);
+        // Every question has its answer line.
+        assert_eq!(
+            p.text.matches("Question: ").count(),
+            p.text.matches("Answer: ").count(),
+            "{}",
+            p.text
+        );
+    }
+}
+
+#[test]
+fn two_shot_prompt_ends_unanswered_and_exemplars_are_not_the_test_question() {
+    let (_, ds) = world_and_dataset(404);
+    for q in ds.questions.iter().take(20) {
+        let prompt = token_method_prompt(q, &ds.exemplars, 2);
+        // The prompt ends at "Answer:" for the test question.
+        assert!(prompt.ends_with("Answer:"));
+        // No exemplar is the test question verbatim (same question and
+        // same option arrangement).
+        for ex in &ds.exemplars {
+            assert!(!(ex.question == q.question && ex.options == q.options));
+        }
+    }
+}
+
+#[test]
+fn frontier_questions_are_not_answerable_from_general_corpus() {
+    // Frontier facts must never be rendered into the general corpus —
+    // that separation is what makes CPT measurable.
+    let world = World::generate(405, WorldConfig::small());
+    let mut rng = Rng::seed_from(405);
+    let docs = general_corpus(&world, 600, &mut rng);
+    let all_text: String = docs.iter().map(|d| d.text.as_str()).collect();
+    for fact in world.facts_of_tier(FactTier::Frontier) {
+        let entity = &world.entities[fact.entity];
+        // The specific pairing "<relation> of <entity> is <value>" must
+        // not appear.
+        let pairing = format!("{} of {} is {}", fact.relation.phrase(), entity.name, fact.value);
+        assert!(
+            !all_text.contains(&pairing),
+            "frontier fact leaked into general corpus: {pairing}"
+        );
+    }
+}
