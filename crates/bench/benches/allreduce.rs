@@ -1,37 +1,22 @@
 //! P5 — ring all-reduce throughput across simulated device counts, at the
 //! gradient-buffer sizes of the model tiers.
 
+use astro_bench::micro::{Micro, Throughput};
 use astro_parallel::ring_all_reduce;
-use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-fn bench_allreduce(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ring_all_reduce");
+fn main() {
+    let mut group = Micro::new("ring_all_reduce");
     for &devices in &[2usize, 4, 8] {
         for &len in &[80_000usize, 820_000] {
             let mut buffers: Vec<Vec<f32>> = (0..devices)
                 .map(|d| (0..len).map(|i| (d * len + i) as f32 * 1e-6).collect())
                 .collect();
             group.throughput(Throughput::Elements((len * devices) as u64));
-            group.bench_with_input(
-                BenchmarkId::new(format!("{devices}dev"), len),
-                &(),
-                |b, _| {
-                    b.iter(|| {
-                        let mut refs: Vec<&mut [f32]> =
-                            buffers.iter_mut().map(|v| v.as_mut_slice()).collect();
-                        ring_all_reduce(&mut refs)
-                    });
-                },
-            );
+            group.bench(&format!("{devices}dev/{len}"), || {
+                let mut refs: Vec<&mut [f32]> =
+                    buffers.iter_mut().map(|v| v.as_mut_slice()).collect();
+                ring_all_reduce(&mut refs)
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500)).sample_size(10);
-    targets = bench_allreduce
-}
-criterion_main!(benches);

@@ -1,13 +1,12 @@
 //! P2 — full training-step throughput per model tier (forward + backward
 //! including attention), the number that sizes every experiment preset.
 
+use astro_bench::micro::{Micro, Throughput};
 use astro_model::{ModelConfig, Params, Tier, TrainContext};
 use astro_prng::Rng;
-use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-fn bench_train_step(c: &mut Criterion) {
-    let mut group = c.benchmark_group("train_step");
+fn main() {
+    let mut group = Micro::new("train_step");
     for tier in [Tier::S7b, Tier::S8b, Tier::S70b] {
         let cfg = ModelConfig::tier(tier, 512);
         let params = Params::init(cfg, &mut Rng::seed_from(1));
@@ -19,23 +18,9 @@ fn bench_train_step(c: &mut Criterion) {
         let mask = vec![true; b * t];
         let mut grad = vec![0.0f32; params.data.len()];
         group.throughput(Throughput::Elements((b * t) as u64));
-        group.bench_with_input(
-            BenchmarkId::new("loss_and_grad", tier.label()),
-            &(),
-            |be, _| {
-                be.iter(|| {
-                    grad.fill(0.0);
-                    ctx.loss_and_grad(&params, &tokens, &targets, &mask, &mut grad)
-                });
-            },
-        );
+        group.bench(&format!("loss_and_grad/{}", tier.label()), || {
+            grad.fill(0.0);
+            ctx.loss_and_grad(&params, &tokens, &targets, &mask, &mut grad)
+        });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500)).sample_size(10);
-    targets = bench_train_step
-}
-criterion_main!(benches);

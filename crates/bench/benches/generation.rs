@@ -2,42 +2,27 @@
 //! This bounds the cost of the full-instruct evaluation (the paper spent
 //! 64 A100-hours on it for the 70B model).
 
+use astro_bench::micro::{Micro, Throughput};
 use astro_model::{InferenceSession, ModelConfig, Params, Tier};
 use astro_prng::Rng;
-use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-fn bench_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("generation");
+fn main() {
+    let mut group = Micro::new("generation");
     for tier in [Tier::S7b, Tier::S8b, Tier::S70b] {
         let cfg = ModelConfig::tier(tier, 512);
         let params = Params::init(cfg, &mut Rng::seed_from(3));
         let prompt: Vec<u32> = (0..64u32).map(|i| i % 500).collect();
         let gen_tokens = 64usize;
         group.throughput(Throughput::Elements((prompt.len() + gen_tokens) as u64));
-        group.bench_with_input(
-            BenchmarkId::new("prompt64_gen64", tier.label()),
-            &(),
-            |b, _| {
-                b.iter(|| {
-                    let mut sess = InferenceSession::new(cfg);
-                    sess.feed_prompt(&params, &prompt);
-                    let mut tok = 1u32;
-                    for _ in 0..gen_tokens {
-                        let logits = sess.feed(&params, tok);
-                        tok = astro_model::argmax(logits) as u32;
-                    }
-                    tok
-                });
-            },
-        );
+        group.bench(&format!("prompt64_gen64/{}", tier.label()), || {
+            let mut sess = InferenceSession::new(cfg);
+            sess.feed_prompt(&params, &prompt);
+            let mut tok = 1u32;
+            for _ in 0..gen_tokens {
+                let logits = sess.feed(&params, tok);
+                tok = astro_model::argmax(logits) as u32;
+            }
+            tok
+        });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500)).sample_size(10);
-    targets = bench_generation
-}
-criterion_main!(benches);

@@ -1,12 +1,11 @@
 //! P1 — matmul kernel throughput in the three orientations the
 //! transformer uses, at sizes matching the model tiers.
 
+use astro_bench::micro::{black_box, Micro, Throughput};
 use astro_tensor::matmul::{matmul, matmul_a_bt, matmul_at_b};
-use std::time::Duration;
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matmul");
+fn main() {
+    let mut group = Micro::new("matmul");
     for &(m, k, n) in &[(96usize, 48usize, 48usize), (96, 112, 112), (96, 112, 512)] {
         let a: Vec<f32> = (0..m * k).map(|i| (i % 13) as f32 * 0.1).collect();
         let b: Vec<f32> = (0..k * n).map(|i| (i % 7) as f32 * 0.1).collect();
@@ -15,22 +14,14 @@ fn bench_matmul(c: &mut Criterion) {
         let mut out = vec![0.0f32; m * n];
         let flops = (2 * m * k * n) as u64;
         group.throughput(Throughput::Elements(flops));
-        group.bench_with_input(BenchmarkId::new("a_b", format!("{m}x{k}x{n}")), &(), |be, _| {
-            be.iter(|| matmul(black_box(&mut out), black_box(&a), black_box(&b), m, k, n));
+        group.bench(&format!("a_b/{m}x{k}x{n}"), || {
+            matmul(black_box(&mut out), black_box(&a), black_box(&b), m, k, n)
         });
-        group.bench_with_input(BenchmarkId::new("a_bt", format!("{m}x{k}x{n}")), &(), |be, _| {
-            be.iter(|| matmul_a_bt(black_box(&mut out), black_box(&a), black_box(&bt), m, k, n));
+        group.bench(&format!("a_bt/{m}x{k}x{n}"), || {
+            matmul_a_bt(black_box(&mut out), black_box(&a), black_box(&bt), m, k, n)
         });
-        group.bench_with_input(BenchmarkId::new("at_b", format!("{m}x{k}x{n}")), &(), |be, _| {
-            be.iter(|| matmul_at_b(black_box(&mut out), black_box(&at), black_box(&b), m, k, n));
+        group.bench(&format!("at_b/{m}x{k}x{n}"), || {
+            matmul_at_b(black_box(&mut out), black_box(&at), black_box(&b), m, k, n)
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500)).sample_size(20);
-    targets = bench_matmul
-}
-criterion_main!(benches);

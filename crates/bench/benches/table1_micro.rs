@@ -1,34 +1,22 @@
 //! E1/E2 micro version — the Table I / Figure 1 pipeline end-to-end at
-//! smoke scale under Criterion timing, so `cargo bench` exercises the
-//! experiment-regeneration path itself. (The paper-scale regeneration
+//! smoke scale under the microbench harness, so `cargo bench` exercises
+//! the experiment-regeneration path itself. (The paper-scale regeneration
 //! binaries are `table1`, `figure1`, `costs`, `ablation_*`.)
 
+use astro_bench::micro::Micro;
 use astromlab::{Study, StudyConfig};
-use std::time::Duration;
-use criterion::{criterion_group, criterion_main, Criterion};
 
-fn bench_pipeline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("study_pipeline");
-    group.sample_size(10);
-    group.bench_function("prepare_smoke", |b| {
-        b.iter(|| Study::prepare(StudyConfig::smoke(42)));
-    });
+fn main() {
+    let mut group = Micro::new("study_pipeline");
+    group.bench("prepare_smoke", || Study::prepare(StudyConfig::smoke(42)));
 
     let study = Study::prepare(StudyConfig::smoke(42));
-    group.bench_function("pretrain_native_7b_smoke", |b| {
-        b.iter(|| study.pretrain_native(astromlab::model::Tier::S7b));
+    group.bench("pretrain_native_7b_smoke", || {
+        study.pretrain_native(astromlab::model::Tier::S7b)
     });
 
     let (native, _) = study.pretrain_native(astromlab::model::Tier::S7b);
-    group.bench_function("eval_token_base_smoke", |b| {
-        b.iter(|| study.eval(&native, astromlab::eval::Method::TokenBase));
+    group.bench("eval_token_base_smoke", || {
+        study.eval(&native, astromlab::eval::Method::TokenBase)
     });
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
-    targets = bench_pipeline
-}
-criterion_main!(benches);

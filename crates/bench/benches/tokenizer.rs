@@ -1,33 +1,29 @@
 //! P3 — tokenizer throughput: BPE training and encoding speed on
 //! corpus-like text.
 
+use astro_bench::micro::{black_box, Micro, Throughput};
 use astro_prng::Rng;
 use astro_tokenizer::{train_bpe, BpeTrainerConfig};
 use astro_world::{general_corpus, World, WorldConfig};
-use std::time::Duration;
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
-fn bench_tokenizer(c: &mut Criterion) {
+fn main() {
     let world = World::generate(1, WorldConfig::small());
     let mut rng = Rng::seed_from(1);
     let docs = general_corpus(&world, 200, &mut rng);
     let texts: Vec<String> = docs.iter().map(|d| d.text.clone()).collect();
     let corpus_bytes: usize = texts.iter().map(|t| t.len()).sum();
 
-    let mut group = c.benchmark_group("tokenizer");
+    let mut group = Micro::new("tokenizer");
     group.throughput(Throughput::Bytes(corpus_bytes as u64));
-    group.sample_size(10);
-    group.bench_function("train_bpe_vocab512", |b| {
-        b.iter(|| {
-            train_bpe(
-                black_box(&texts),
-                &BpeTrainerConfig {
-                    vocab_size: 512,
-                    min_pair_count: 2,
-                    ensure_pieces: Vec::new(),
-                },
-            )
-        });
+    group.bench("train_bpe_vocab512", || {
+        train_bpe(
+            black_box(&texts),
+            &BpeTrainerConfig {
+                vocab_size: 512,
+                min_pair_count: 2,
+                ensure_pieces: Vec::new(),
+            },
+        )
     });
 
     let tok = train_bpe(
@@ -40,20 +36,8 @@ fn bench_tokenizer(c: &mut Criterion) {
     );
     let sample = texts.join(" ");
     group.throughput(Throughput::Bytes(sample.len() as u64));
-    group.bench_function("encode", |b| {
-        b.iter(|| tok.encode(black_box(&sample)));
-    });
+    group.bench("encode", || tok.encode(black_box(&sample)));
     let ids = tok.encode(&sample);
     group.throughput(Throughput::Elements(ids.len() as u64));
-    group.bench_function("decode", |b| {
-        b.iter(|| tok.decode(black_box(&ids)));
-    });
-    group.finish();
+    group.bench("decode", || tok.decode(black_box(&ids)));
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
-    targets = bench_tokenizer
-}
-criterion_main!(benches);

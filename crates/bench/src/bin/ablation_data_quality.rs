@@ -7,14 +7,15 @@
 //! cargo run --release -p astro-bench --bin ablation_data_quality -- [smoke|fast|full] [seed]
 //! ```
 
-use astro_bench::preset_from_args;
+use astro_bench::instrumented_run;
+use astro_telemetry::info;
 use astromlab::ablations::{ablation_data_quality, render_ablation};
 use astromlab::Study;
 
 fn main() {
-    let config = preset_from_args("ablation_data_quality");
+    let (config, run) = instrumented_run("ablation_data_quality");
     let study = Study::prepare(config);
-    eprintln!("CPT'ing the 8B-class native through 4 noise channels ...");
+    info!("CPT'ing the 8B-class native through 4 noise channels ...");
     let points = ablation_data_quality(&study);
     println!(
         "\n{}",
@@ -28,4 +29,5 @@ fn main() {
         "expected shape: clean ≥ latex-artifacts ≥ heavy-ocr, with nougat cleaning \
          recovering part of the heavy-ocr gap."
     );
+    run.finish();
 }

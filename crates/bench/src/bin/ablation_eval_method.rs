@@ -5,14 +5,15 @@
 //! cargo run --release -p astro-bench --bin ablation_eval_method -- [smoke|fast|full] [seed]
 //! ```
 
-use astro_bench::preset_from_args;
+use astro_bench::instrumented_run;
+use astro_telemetry::info;
 use astromlab::ablations::{ablation_eval_method, render_ablation};
 use astromlab::Study;
 
 fn main() {
-    let config = preset_from_args("ablation_eval_method");
+    let (config, run) = instrumented_run("ablation_eval_method");
     let study = Study::prepare(config);
-    eprintln!("evaluating the 8B-class native under 4 token-method settings ...");
+    info!("evaluating the 8B-class native under 4 token-method settings ...");
     let points = ablation_eval_method(&study);
     println!(
         "\n{}",
@@ -26,4 +27,5 @@ fn main() {
         "expected shape: two-shot ≥ zero-shot (the examples 'give the model a clear \
          pattern to follow'), and variant detection ≥ bare letters."
     );
+    run.finish();
 }

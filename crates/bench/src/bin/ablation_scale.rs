@@ -6,14 +6,15 @@
 //! cargo run --release -p astro-bench --bin ablation_scale -- [smoke|fast|full] [seed]
 //! ```
 
-use astro_bench::preset_from_args;
+use astro_bench::instrumented_run;
+use astro_telemetry::info;
 use astromlab::ablations::{ablation_scale, render_ablation};
 use astromlab::Study;
 
 fn main() {
-    let config = preset_from_args("ablation_scale");
+    let (config, run) = instrumented_run("ablation_scale");
     let study = Study::prepare(config);
-    eprintln!("pretraining + CPT'ing all three tiers ...");
+    info!("pretraining + CPT'ing all three tiers ...");
     let points = ablation_scale(&study);
     println!(
         "\n{}",
@@ -31,4 +32,5 @@ fn main() {
         "\nexpected shape (paper): 7B-class delta negative (catastrophic forgetting), \
          8B-class ≈ neutral, 70B-class positive (+2.1 in the paper)."
     );
+    run.finish();
 }

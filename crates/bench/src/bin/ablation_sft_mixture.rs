@@ -7,14 +7,15 @@
 //! cargo run --release -p astro-bench --bin ablation_sft_mixture -- [smoke|fast|full] [seed]
 //! ```
 
-use astro_bench::preset_from_args;
+use astro_bench::instrumented_run;
+use astro_telemetry::info;
 use astromlab::ablations::{ablation_sft_mixture, render_ablation};
 use astromlab::Study;
 
 fn main() {
-    let config = preset_from_args("ablation_sft_mixture");
+    let (config, run) = instrumented_run("ablation_sft_mixture");
     let study = Study::prepare(config);
-    eprintln!("SFT'ing the 8B-class AIC model under 4 mixtures ...");
+    info!("SFT'ing the 8B-class AIC model under 4 mixtures ...");
     let points = ablation_sft_mixture(&study);
     println!(
         "\n{}",
@@ -28,4 +29,5 @@ fn main() {
         "expected shape: astronomy-focused mixtures preserve full-instruct ability best; \
          the paper's 1/3-astro mixture sits between the extremes; shrinking the set hurts."
     );
+    run.finish();
 }

@@ -9,13 +9,18 @@
 //! ```sh
 //! cargo run --release -p astro-bench --bin costs -- [smoke|fast|full] [seed]
 //! ```
+//!
+//! Outputs (working directory): `telemetry.jsonl`, `run_manifest.json`,
+//! and the machine-readable `BENCH_costs.json`.
 
-use astro_bench::preset_from_args;
+use astro_bench::{instrumented_run, JsonObject};
+use astro_telemetry::info;
 use astromlab::model::Tier;
 use astromlab::train::{CostModel, TrainingKind, PAPER_COSTS};
 
 fn main() {
-    let config = preset_from_args("costs");
+    let (config, mut run) = instrumented_run("costs");
+    let _span = astro_telemetry::span!("costs.render");
     let model = CostModel::default();
 
     println!("\n=== Paper §III cost table vs cost model ===\n");
@@ -82,4 +87,35 @@ fn main() {
          (chain-of-thought outputs up to 512 tokens plus prompts)",
         infer_tokens / 4425.0
     );
+
+    // Machine-readable record of the cost cross-check.
+    let mut paper = JsonObject::new();
+    for (label, params_b, hours, kind) in PAPER_COSTS {
+        let mut row = JsonObject::new();
+        row.num("params_b", params_b)
+            .num("paper_a100_hours", hours)
+            .num("implied_tokens", model.implied_tokens(params_b, hours, kind));
+        paper.raw(label, &row.finish());
+    }
+    let mut sim = JsonObject::new();
+    sim.num("native_tokens_7b", study_cfg.native_tokens(0) as f64)
+        .num("native_tokens_8b", study_cfg.native_tokens(1) as f64)
+        .num("native_tokens_70b", study_cfg.native_tokens(2) as f64)
+        .num("cpt_tokens", study_cfg.cpt_tokens() as f64);
+    let mut top = JsonObject::new();
+    top.str("bench", "costs")
+        .num("implied_cpt_tokens_8b", t8)
+        .num("implied_cpt_tokens_70b", t70)
+        .num("infer_tokens_per_question", infer_tokens / 4425.0)
+        .raw("paper_costs", &paper.finish())
+        .raw("simulated", &sim.finish());
+    let mut json = top.finish();
+    json.push('\n');
+    match std::fs::write("BENCH_costs.json", &json) {
+        Ok(()) => run.add("bench_json", "BENCH_costs.json"),
+        Err(e) => info!("BENCH_costs.json not written: {e}"),
+    }
+    drop(_span);
+    println!();
+    run.finish();
 }

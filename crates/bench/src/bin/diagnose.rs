@@ -26,7 +26,7 @@ fn main() {
     config.world.n_entities = n_entities;
     config.general_docs = general_docs;
     let study = Study::prepare(config);
-    eprintln!(
+    astro_telemetry::info!(
         "world: {} facts | general stream: {} tokens | AIC stream: {} tokens | vocab {}",
         study.world.facts.len(),
         study.general_stream.len(),
@@ -38,10 +38,10 @@ fn main() {
     let cfg_model = study.model_config(tier);
     let mut rng = astromlab::prng::Rng::seed_from(42).substream("diag-init");
     let mut params = astromlab::model::Params::init(cfg_model, &mut rng);
-    eprintln!("tier {:?}: {} params", tier, params.len());
+    astro_telemetry::info!("tier {:?}: {} params", tier, params.len());
     // Tokenizer diagnostics: do the letter variants exist?
     for piece in ["A", " A", " B", " C", " D", "Answer:", " Answer:"] {
-        eprintln!("  token_for_str({piece:?}) = {:?}", study.tokenizer.token_for_str(piece));
+        astro_telemetry::info!("  token_for_str({piece:?}) = {:?}", study.tokenizer.token_for_str(piece));
     }
 
     let chunk = 100u64;
@@ -75,7 +75,7 @@ fn main() {
                 &model, q, &study.mcq.exemplars, &astromlab::eval::TokenEvalConfig::default());
             hist[p] += 1;
         }
-        eprintln!(
+        astro_telemetry::info!(
             "step {done:>5}: train loss {:.3} | held-out {:.3} | token-base {:>5.1}% ({}/{}) | preds A{} B{} C{} D{} | {:.0}s",
             report.final_loss,
             hl,
@@ -108,7 +108,7 @@ fn main() {
             recall_hits += 1;
         }
     }
-    eprintln!(
+    astro_telemetry::info!(
         "fact recall (first token of value): {}/{} = {:.0}%",
         recall_hits,
         consensus.len(),
@@ -148,7 +148,7 @@ fn main() {
             ctx_hits += 1;
         }
     }
-    eprintln!(
+    astro_telemetry::info!(
         "in-context MCQ accuracy (fact shown): {}/60 = {:.0}%",
         ctx_hits,
         100.0 * ctx_hits as f64 / 60.0
@@ -159,14 +159,14 @@ fn main() {
     let q = questions[0];
     let prompt = astromlab::mcq::prompts::token_method_prompt(q, &study.mcq.exemplars, 2);
     let tokens = study.tokenizer.encode_with_bounds(&prompt, false);
-    eprintln!("prompt tokens: {} (max_seq {})", tokens.len(), params.cfg.max_seq);
+    astro_telemetry::info!("prompt tokens: {} (max_seq {})", tokens.len(), params.cfg.max_seq);
     let mut sess = astromlab::model::InferenceSession::new(params.cfg);
     let keep = tokens.len().min(params.cfg.max_seq);
     let logits = sess.feed_prompt(&params, &tokens[tokens.len()-keep..]);
     let mut idx: Vec<usize> = (0..logits.len()).collect();
     idx.sort_by(|&a, &b| logits[b].partial_cmp(&logits[a]).unwrap());
-    eprintln!("correct answer: {} ({})", q.answer_letter(), q.options[q.answer]);
+    astro_telemetry::info!("correct answer: {} ({})", q.answer_letter(), q.options[q.answer]);
     for &i in idx.iter().take(10) {
-        eprintln!("  top token {:?} logit {:.2}", String::from_utf8_lossy(study.tokenizer.piece(i as u32)), logits[i]);
+        astro_telemetry::info!("  top token {:?} logit {:.2}", String::from_utf8_lossy(study.tokenizer.piece(i as u32)), logits[i]);
     }
 }

@@ -6,16 +6,17 @@
 //! cargo run --release -p astro-bench --bin figure1 -- [smoke|fast|full] [seed]
 //! ```
 
-use astro_bench::preset_from_args;
+use astro_bench::instrumented_run;
+use astro_telemetry::info;
 use astromlab::eval::FlagshipOracle;
 use astromlab::prng::Rng;
 use astromlab::study::build_rows;
 use astromlab::{ModelId, Study};
 
 fn main() {
-    let config = preset_from_args("figure1");
+    let (config, run) = instrumented_run("figure1");
     let study = Study::prepare(config);
-    eprintln!("training + evaluating the 8-model zoo ...");
+    info!("training + evaluating the 8-model zoo ...");
     let result = study.run_table1();
 
     // Flagship context (paper §VI): noisy calibrated oracles scored on the
@@ -48,4 +49,5 @@ fn main() {
 
     println!("=== CSV (measured) ===\n");
     println!("{}", result.figure1_csv);
+    run.finish();
 }

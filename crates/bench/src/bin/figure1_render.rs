@@ -16,7 +16,7 @@ use astromlab::ModelId;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scores: Vec<(ModelId, [Option<f64>; 3])> = if args.is_empty() {
-        eprintln!("(no scores given — rendering the paper's published scores)");
+        astro_telemetry::info!("(no scores given — rendering the paper's published scores)");
         ModelId::all().iter().map(|&id| (id, id.paper_scores())).collect()
     } else {
         assert_eq!(

@@ -15,14 +15,14 @@
 //! cargo run --release -p astro-bench --bin forgetting_curves -- [smoke|fast|full] [seed]
 //! ```
 
-use astro_bench::preset_from_args;
+use astro_bench::instrumented_run;
 use astromlab::model::Tier;
 use astromlab::train::held_out_loss;
 use astromlab::world::CorpusRecipe;
 use astromlab::Study;
 
 fn main() {
-    let config = preset_from_args("forgetting_curves");
+    let (config, run) = instrumented_run("forgetting_curves");
     let seq = config.seq;
     let study = Study::prepare(config);
     let windows = 40;
@@ -66,4 +66,5 @@ fn main() {
         forgetting[2].1,
         if ok { "shape holds" } else { "shape NOT reproduced at this preset" }
     );
+    run.finish();
 }

@@ -67,7 +67,7 @@ fn main() {
         d_ff: 2 * d,
         max_seq: 16,
     };
-    eprintln!("layers {layers} d {d} lr {lr}");
+    astro_telemetry::info!("layers {layers} d {d} lr {lr}");
     let mut rng = Rng::seed_from(7);
     let mut params = Params::init(cfg, &mut rng);
     let b = 16usize;

@@ -9,26 +9,30 @@
 //! deterministic in the seed. Alongside the measured table, the paper's
 //! published numbers are printed for shape comparison; see EXPERIMENTS.md
 //! for the recorded analysis.
+//!
+//! Outputs (working directory): `telemetry.jsonl`, `run_manifest.json`,
+//! and the machine-readable `BENCH_table1.json` (scores + stage wall
+//! times + tokens/sec) that future performance PRs diff against.
 
-use astro_bench::preset_from_args;
+use astro_bench::{instrumented_run, JsonObject};
+use astro_telemetry::info;
 use astromlab::eval::value::{summarize_gain, FLAGSHIP_SCORES};
 use astromlab::eval::Method;
-use astromlab::study::build_rows;
+use astromlab::study::{build_rows, StudyResult};
 use astromlab::{ModelId, Study};
 
 fn main() {
-    let config = preset_from_args("table1");
+    let (config, mut run) = instrumented_run("table1");
     let start = std::time::Instant::now();
-    eprintln!("preparing study (seed {}) ...", config.seed);
     let study = Study::prepare(config);
-    eprintln!(
+    info!(
         "world: {} articles / {} facts | benchmark: {} MCQs | eval subset: {}",
         study.world.articles.len(),
         study.world.facts.len(),
         study.mcq.len(),
         study.config.n_eval_questions
     );
-    eprintln!("training 3 natives + 5 CPT variants + 7 instruct models ...");
+    info!("training 3 natives + 5 CPT variants + 7 instruct models ...");
     let result = study.run_table1();
 
     println!("\n=== Table I (measured, this reproduction) ===\n");
@@ -67,5 +71,81 @@ fn main() {
             println!("  {:<34} {:.0}%", id.name(), rate * 100.0);
         }
     }
-    eprintln!("\ntotal wall time: {:.1}s", start.elapsed().as_secs_f64());
+
+    let wall = start.elapsed().as_secs_f64();
+    let bench_json = bench_table1_json(&result, wall);
+    match std::fs::write("BENCH_table1.json", &bench_json) {
+        Ok(()) => run.add("bench_json", "BENCH_table1.json"),
+        Err(e) => info!("BENCH_table1.json not written: {e}"),
+    }
+    println!();
+    run.finish();
+}
+
+/// Serialise scores + per-stage wall times + training throughput into the
+/// JSON subset the in-repo parser reads.
+fn bench_table1_json(result: &StudyResult, wall_secs: f64) -> String {
+    let mut scores = String::from("{");
+    for (id, s) in &result.scores {
+        let mut o = JsonObject::new();
+        for (method, v) in Method::all().iter().zip(s.iter()) {
+            match v {
+                Some(pct) => o.num(method.key(), *pct),
+                None => o.raw(method.key(), "null"),
+            };
+        }
+        if scores.len() > 1 {
+            scores.push(',');
+        }
+        astro_telemetry::event::write_json_string(&mut scores, id.name());
+        scores.push(':');
+        scores.push_str(&o.finish());
+    }
+    scores.push('}');
+
+    // Stage wall times: aggregate closed spans by name (seconds).
+    let mut stages = JsonObject::new();
+    let spans = astro_telemetry::span::snapshot();
+    let mut by_name: Vec<(String, f64)> = Vec::new();
+    for s in &spans {
+        if s.end_us.is_none() {
+            continue;
+        }
+        let secs = s.duration_us() as f64 / 1e6;
+        match by_name.iter_mut().find(|(n, _)| *n == s.name) {
+            Some(slot) => slot.1 += secs,
+            None => by_name.push((s.name.clone(), secs)),
+        }
+    }
+    for (name, secs) in &by_name {
+        stages.num(name, *secs);
+    }
+
+    let metrics = astro_telemetry::metrics::snapshot();
+    let tokens = metrics
+        .counters
+        .iter()
+        .find(|(n, _)| n == "train.tokens")
+        .map(|&(_, v)| v)
+        .unwrap_or(0);
+    let train_secs: f64 = spans
+        .iter()
+        .filter(|s| s.name == "train" && s.end_us.is_some())
+        .map(|s| s.duration_us() as f64 / 1e6)
+        .sum();
+
+    let mut top = JsonObject::new();
+    top.str("bench", "table1")
+        .num("wall_secs", wall_secs)
+        .num("train_tokens", tokens as f64)
+        .num("train_secs", train_secs)
+        .num(
+            "tokens_per_sec",
+            if train_secs > 0.0 { tokens as f64 / train_secs } else { 0.0 },
+        )
+        .raw("scores", &scores)
+        .raw("stage_secs", &stages.finish());
+    let mut out = top.finish();
+    out.push('\n');
+    out
 }

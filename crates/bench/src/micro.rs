@@ -1,0 +1,162 @@
+//! Minimal microbenchmark harness for the `benches/` entry points.
+//!
+//! The workspace builds offline, so Criterion is unavailable; this is a
+//! plain warmup-then-measure loop with median/min reporting and optional
+//! throughput. It is deliberately small: benches here guide optimisation
+//! work, they are not a statistics suite. Timings are also recorded into
+//! the telemetry histogram `bench.<group>.<name>.nanos` so a JSONL sink
+//! (when active) captures the run.
+//!
+//! `ASTRO_BENCH_MS` overrides the per-bench measurement budget
+//! (milliseconds, default 2000 — matching the old Criterion config).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// What one iteration processes, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Abstract elements (tokens, floats, flops) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A named group of microbenchmarks sharing a measurement budget.
+pub struct Micro {
+    group: String,
+    budget: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl Micro {
+    pub fn new(group: &str) -> Micro {
+        let ms = std::env::var("ASTRO_BENCH_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(2000u64);
+        println!("group {group} (budget {ms}ms per bench)");
+        Micro {
+            group: group.to_string(),
+            budget: Duration::from_millis(ms),
+            throughput: None,
+        }
+    }
+
+    /// Set the per-iteration work for subsequent [`Micro::bench`] calls.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run `f` repeatedly, print a result line, and return the median
+    /// per-iteration time.
+    pub fn bench<R, F: FnMut() -> R>(&mut self, name: &str, mut f: F) -> Duration {
+        // One untimed call so lazy setup (page faults, allocator growth)
+        // lands outside measurement, then calibrate batch size to ~10ms.
+        let once = time(&mut f, 1);
+        let iters_per_batch = (Duration::from_millis(10).as_nanos() / once.as_nanos().max(1))
+            .clamp(1, 1_000_000) as u64;
+        // Warmup ~1/4 budget, then measure whole batches until the budget
+        // is spent (always at least 5 batches).
+        let warm_until = Instant::now() + self.budget / 4;
+        while Instant::now() < warm_until {
+            time(&mut f, iters_per_batch);
+        }
+        let mut samples: Vec<Duration> = Vec::new();
+        let measure_until = Instant::now() + self.budget;
+        while samples.len() < 5 || Instant::now() < measure_until {
+            samples.push(time(&mut f, iters_per_batch) / iters_per_batch as u32);
+            if samples.len() >= 10_000 {
+                break;
+            }
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let hist = astro_telemetry::histogram(&format!("bench.{}.{name}.nanos", self.group));
+        for s in &samples {
+            hist.observe(s.as_nanos() as f64);
+        }
+        let mut line = format!(
+            "  {:<36} median {:>12}  min {:>12}  ({} samples x {} iters)",
+            name,
+            fmt_duration(median),
+            fmt_duration(min),
+            samples.len(),
+            iters_per_batch
+        );
+        if let Some(t) = self.throughput {
+            let (n, unit) = match t {
+                Throughput::Elements(n) => (n, "elem/s"),
+                Throughput::Bytes(n) => (n, "B/s"),
+            };
+            let rate = n as f64 / median.as_secs_f64().max(1e-12);
+            line.push_str(&format!("  {} {unit}", fmt_rate(rate)));
+        }
+        println!("{line}");
+        median
+    }
+}
+
+fn time<R, F: FnMut() -> R>(f: &mut F, iters: u64) -> Duration {
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    start.elapsed()
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+fn fmt_rate(r: f64) -> String {
+    if r >= 1e9 {
+        format!("{:.2}G", r / 1e9)
+    } else if r >= 1e6 {
+        format!("{:.2}M", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.2}k", r / 1e3)
+    } else {
+        format!("{r:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_returns_plausible_median() {
+        std::env::set_var("ASTRO_BENCH_MS", "20");
+        let mut m = Micro::new("selftest");
+        m.throughput(Throughput::Elements(1000));
+        let med = m.bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        });
+        assert!(med > Duration::ZERO && med < Duration::from_millis(100));
+        std::env::remove_var("ASTRO_BENCH_MS");
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50ms");
+        assert_eq!(fmt_rate(2_500_000.0), "2.50M");
+    }
+}

@@ -31,9 +31,12 @@ pub struct AblationPoint {
 /// cleaning), each used to CPT the 8B-class native. Probes the paper's
 /// claim that "high-quality, information-dense tokens used in CPT" are
 /// critical.
+/// A text-corruption channel applied to CPT documents.
+type NoiseChannel = Box<dyn Fn(&str, &mut Rng) -> String>;
+
 pub fn ablation_data_quality(study: &Study) -> Vec<AblationPoint> {
     let (native, _) = study.pretrain_native(Tier::S8b);
-    let channels: [(&str, Box<dyn Fn(&str, &mut Rng) -> String>); 4] = [
+    let channels: [(&str, NoiseChannel); 4] = [
         ("clean", Box::new(|s: &str, _: &mut Rng| s.to_string())),
         (
             "latex-artifacts",

@@ -90,6 +90,11 @@ impl Study {
     /// Generate the world, train the tokenizer, build the benchmark and
     /// pack every corpus.
     pub fn prepare(config: StudyConfig) -> Study {
+        let _span = astro_telemetry::span!("study.prepare", seed = config.seed);
+        astro_telemetry::info!(
+            "prepare: world + tokenizer + benchmark (seed {})",
+            config.seed
+        );
         let root = Rng::seed_from(config.seed);
         let world = World::generate(config.seed, config.world.clone());
 
@@ -207,6 +212,8 @@ impl Study {
 
     /// Pretrain one native model on the general corpus.
     pub fn pretrain_native(&self, tier: Tier) -> (Params, TrainReport) {
+        let span = astro_telemetry::span!("study.pretrain_native", tier = tier.label());
+        astro_telemetry::info!("pretrain_native: tier {}", tier.label());
         let cfg = self.model_config(tier);
         let mut rng = self.root.substream_idx("native-init", tier_idx(tier) as u64);
         let mut params = Params::init(cfg, &mut rng);
@@ -217,11 +224,14 @@ impl Study {
             &tc,
             &self.root.substream_idx("native-train", tier_idx(tier) as u64),
         );
+        span.record_f64("tokens", report.tokens_processed as f64);
         (params, report)
     }
 
     /// Continually pretrain a base model on a recipe corpus (paper §III).
     pub fn cpt(&self, base: &Params, recipe: CorpusRecipe) -> (Params, TrainReport) {
+        let span = astro_telemetry::span!("study.cpt", recipe = recipe.label());
+        astro_telemetry::info!("cpt: recipe {}", recipe.label());
         let mut params = base.clone();
         let tc = self.trainer_config(self.config.cpt_steps, self.config.cpt_lr);
         let report = train_lm(
@@ -230,11 +240,14 @@ impl Study {
             &tc,
             &self.root.substream(&format!("cpt-{}", recipe.label())),
         );
+        span.record_f64("tokens", report.tokens_processed as f64);
         (params, report)
     }
 
     /// SFT a base model into an instruct model.
     pub fn sft(&self, base: &Params, label: &str) -> (Params, TrainReport) {
+        let span = astro_telemetry::span!("study.sft", model = label);
+        astro_telemetry::info!("sft: {label}");
         let mut params = base.clone();
         let tc = self.trainer_config(self.config.sft_steps, self.config.sft_lr);
         let report = train_lm(
@@ -243,6 +256,7 @@ impl Study {
             &tc,
             &self.root.substream(&format!("sft-{label}")),
         );
+        span.record_f64("tokens", report.tokens_processed as f64);
         (params, report)
     }
 
@@ -308,6 +322,7 @@ impl Study {
 
     /// Train every model of the zoo (natives shared across their series).
     pub fn build_artifacts(&self) -> HashMap<ModelId, ModelArtifacts> {
+        let _span = astro_telemetry::span!("study.build_artifacts");
         let mut out = HashMap::new();
         // Natives per tier.
         let mut natives: HashMap<usize, Params> = HashMap::new();
@@ -316,6 +331,7 @@ impl Study {
             natives.insert(tier_idx(tier), p);
         }
         for id in ModelId::all() {
+            astro_telemetry::info!("build: {}", id.name());
             let native = &natives[&tier_idx(id.tier())];
             let (base, cpt_report) = match id.recipe() {
                 None => (native.clone(), None),
@@ -348,9 +364,11 @@ impl Study {
         &self,
         artifacts: &HashMap<ModelId, ModelArtifacts>,
     ) -> StudyResult {
+        let _span = astro_telemetry::span!("study.evaluate_artifacts");
         let mut scores = Vec::new();
         let mut parse_trouble = Vec::new();
         for id in ModelId::all() {
+            astro_telemetry::info!("evaluate: {}", id.name());
             let art = &artifacts[&id];
             let token_base = self.eval(&art.base, Method::TokenBase).percent();
             let (full, token_instr, trouble) = match &art.instruct {
@@ -377,6 +395,7 @@ impl Study {
 
     /// The whole pipeline: train everything, evaluate everything.
     pub fn run_table1(&self) -> StudyResult {
+        let _span = astro_telemetry::span!("study.run_table1");
         let artifacts = self.build_artifacts();
         self.evaluate_artifacts(&artifacts)
     }

@@ -159,10 +159,9 @@ mod tests {
         );
         // Untrained model: answer likely unparseable, but the pipeline
         // must complete and classify.
-        if a.prediction.is_none() {
-            assert_eq!(a.stage, ExtractionStage::Failed);
-        } else {
-            assert!(a.prediction.unwrap() < 4);
+        match a.prediction {
+            None => assert_eq!(a.stage, ExtractionStage::Failed),
+            Some(p) => assert!(p < 4),
         }
     }
 

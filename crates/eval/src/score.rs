@@ -36,6 +36,15 @@ impl Method {
     pub fn all() -> [Method; 3] {
         [Method::FullInstruct, Method::TokenInstruct, Method::TokenBase]
     }
+
+    /// Machine-readable identifier (telemetry attributes, JSON keys).
+    pub fn key(self) -> &'static str {
+        match self {
+            Method::FullInstruct => "full_instruct",
+            Method::TokenInstruct => "token_instruct",
+            Method::TokenBase => "token_base",
+        }
+    }
 }
 
 /// Result of scoring one model under one method.
@@ -144,21 +153,12 @@ pub fn bootstrap_ci(
 }
 
 /// Evaluation settings shared across methods.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct EvalOutcome {
     /// Token-method settings.
     pub token: TokenEvalConfig,
     /// Full-instruct settings.
     pub instruct: InstructEvalConfig,
-}
-
-impl Default for EvalOutcome {
-    fn default() -> Self {
-        EvalOutcome {
-            token: TokenEvalConfig::default(),
-            instruct: InstructEvalConfig::default(),
-        }
-    }
 }
 
 /// Run `method` for `model` over `questions`, returning the score.
@@ -171,7 +171,8 @@ pub fn evaluate(
     instruct_cfg: &InstructEvalConfig,
     rng: &mut Rng,
 ) -> Score {
-    match method {
+    let span = astro_telemetry::span!("eval", method = method.key());
+    let score = match method {
         Method::TokenBase | Method::TokenInstruct => {
             let preds = token_method(model, questions, exemplars, token_cfg);
             let correct = preds
@@ -201,13 +202,28 @@ pub fn evaluate(
                     correct += 1;
                 }
             }
+            astro_telemetry::counter("eval.extract.json").add(stages[0] as u64);
+            astro_telemetry::counter("eval.extract.pattern").add(stages[1] as u64);
+            astro_telemetry::counter("eval.extract.interpreter").add(stages[2] as u64);
+            astro_telemetry::counter("eval.extract.failed").add(stages[3] as u64);
             Score {
                 correct,
                 total: questions.len(),
                 stages,
             }
         }
-    }
+    };
+    astro_telemetry::counter("eval.questions").add(score.total as u64);
+    astro_telemetry::counter("eval.correct").add(score.correct as u64);
+    span.record_f64("questions", score.total as f64);
+    astro_telemetry::Event::new("eval.method")
+        .str_field("method", method.key())
+        .u64_field("correct", score.correct as u64)
+        .u64_field("total", score.total as u64)
+        .f64_field("accuracy_pct", score.percent())
+        .f64_field("fallback_rate", score.parse_trouble_rate())
+        .emit();
+    score
 }
 
 #[cfg(test)]

@@ -334,7 +334,7 @@ mod tests {
         // large values aligned with the final norm output sign. Instead,
         // empirically scale the row until the option wins.
         let d = cfg.d_model;
-        drop(model_ref);
+        let _ = model_ref;
         for scale in [10.0f32, -10.0, 100.0, -100.0] {
             let mut p2 = params.clone();
             for &tok_id in &continuation {

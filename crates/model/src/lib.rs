@@ -136,13 +136,13 @@ impl ModelConfig {
 
     /// Validate internal consistency.
     pub fn validate(&self) -> Result<(), String> {
-        if self.d_model % self.n_heads != 0 {
+        if !self.d_model.is_multiple_of(self.n_heads) {
             return Err(format!(
                 "d_model {} not divisible by n_heads {}",
                 self.d_model, self.n_heads
             ));
         }
-        if self.head_dim() % 2 != 0 {
+        if !self.head_dim().is_multiple_of(2) {
             return Err(format!("head_dim {} must be even for RoPE", self.head_dim()));
         }
         if self.vocab_size == 0 || self.n_layers == 0 || self.max_seq == 0 {

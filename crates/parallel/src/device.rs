@@ -12,8 +12,7 @@
 //! preserved because each chunk of the reduced buffer is combined in ring
 //! order, which is fixed by the topology, not by thread timing.
 
-use parking_lot::{Condvar, Mutex};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Statistics from one all-reduce collective.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -43,18 +42,18 @@ impl Mailbox {
     }
 
     fn put(&self, v: Vec<f32>) {
-        let mut slot = self.slot.lock();
+        let mut slot = self.slot.lock().expect("mailbox poisoned");
         while slot.is_some() {
-            self.taken.wait(&mut slot);
+            slot = self.taken.wait(slot).expect("mailbox poisoned");
         }
         *slot = Some(v);
         self.ready.notify_one();
     }
 
     fn take(&self) -> Vec<f32> {
-        let mut slot = self.slot.lock();
+        let mut slot = self.slot.lock().expect("mailbox poisoned");
         while slot.is_none() {
-            self.ready.wait(&mut slot);
+            slot = self.ready.wait(slot).expect("mailbox poisoned");
         }
         let v = slot.take().expect("slot checked non-empty");
         self.taken.notify_one();
@@ -71,6 +70,7 @@ impl Mailbox {
 /// # Panics
 /// Panics if the buffers have mismatched lengths or `buffers` is empty.
 pub fn ring_all_reduce(buffers: &mut [&mut [f32]]) -> ReduceStats {
+    let start = std::time::Instant::now();
     let n = buffers.len();
     assert!(n > 0, "ring_all_reduce requires at least one device");
     let len = buffers[0].len();
@@ -108,12 +108,12 @@ pub fn ring_all_reduce(buffers: &mut [&mut [f32]]) -> ReduceStats {
     let mailboxes: Vec<Arc<Mailbox>> = (0..n).map(|_| Arc::new(Mailbox::new())).collect();
     let mut communicated = 0usize;
 
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for (rank, buf) in buffers.iter_mut().enumerate() {
             let send_box = Arc::clone(&mailboxes[rank]);
             let recv_box = Arc::clone(&mailboxes[(rank + n - 1) % n]);
             let starts = &starts;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 // Phase 1: reduce-scatter. In step k, device r sends chunk
                 // (r - k) mod n and accumulates the incoming chunk into
                 // (r - k - 1) mod n. After n-1 steps, device r owns the
@@ -149,12 +149,16 @@ pub fn ring_all_reduce(buffers: &mut [&mut [f32]]) -> ReduceStats {
                 }
             });
         }
-    })
-    .expect("all-reduce device thread panicked");
+    });
 
     // Each device sends its full buffer twice over the collective
     // (asymptotically 2·len·(n−1)/n per device).
     communicated += 2 * (n - 1) * len;
+
+    astro_telemetry::histogram("allreduce.micros")
+        .observe(start.elapsed().as_micros() as f64);
+    astro_telemetry::counter("allreduce.bytes")
+        .add(communicated as u64 * std::mem::size_of::<f32>() as u64);
 
     ReduceStats {
         devices: n,
@@ -226,15 +230,14 @@ impl<D: Send> DeviceGrid<D> {
         G: Fn(&mut D) -> &mut [f32] + Sync,
     {
         // Local compute phase.
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for (rank, dev) in self.devices.iter_mut().enumerate() {
                 let local = &local;
-                s.spawn(move |_| local(rank, dev));
+                s.spawn(move || local(rank, dev));
             }
-        })
-        .expect("device step panicked");
+        });
         // Collective phase.
-        let mut bufs: Vec<&mut [f32]> = self.devices.iter_mut().map(|d| grads(d)).collect();
+        let mut bufs: Vec<&mut [f32]> = self.devices.iter_mut().map(grads).collect();
         self.stats = ring_all_reduce(&mut bufs);
     }
 }

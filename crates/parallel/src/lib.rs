@@ -5,7 +5,7 @@
 //! CPU equivalent while exercising the same *code paths* a distributed
 //! trainer needs:
 //!
-//! * [`ThreadPool`] — a small fixed-size worker pool built on crossbeam
+//! * [`ThreadPool`] — a small fixed-size worker pool built on std `mpsc`
 //!   channels, used for task parallelism (document generation, evaluation
 //!   over question batches).
 //! * [`parallel_for`] / [`par_map`] — scoped data-parallel helpers that
@@ -51,7 +51,7 @@ where
         return;
     }
     let chunk = n.div_ceil(threads);
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for t in 0..threads {
             let body = &body;
             let lo = t * chunk;
@@ -59,14 +59,13 @@ where
             if lo >= hi {
                 continue;
             }
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for i in lo..hi {
                     body(i);
                 }
             });
         }
-    })
-    .expect("parallel_for worker panicked");
+    });
 }
 
 /// Map `f` over `0..n` in parallel, collecting results in index order.
@@ -83,7 +82,7 @@ where
     let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
     {
         let slots = out.as_mut_slice();
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             // Split the output buffer into disjoint chunks, one per worker,
             // so each thread writes only its own region (no locking).
             let mut rest = slots;
@@ -96,14 +95,13 @@ where
                 let (mine, tail) = rest.split_at_mut(hi - lo);
                 rest = tail;
                 let f = &f;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for (k, slot) in mine.iter_mut().enumerate() {
                         *slot = Some(f(lo + k));
                     }
                 });
             }
-        })
-        .expect("par_map worker panicked");
+        });
     }
     out.into_iter()
         .map(|x| x.expect("par_map slot unfilled"))

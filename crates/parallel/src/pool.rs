@@ -1,27 +1,31 @@
-//! A fixed-size worker thread pool built on crossbeam channels.
+//! A fixed-size worker thread pool built on a shared std `mpsc` channel.
 //!
-//! The pool owns long-lived worker threads that receive boxed jobs from an
-//! unbounded channel. It is used where scoped helpers are awkward — e.g.
-//! pipelined corpus generation while the trainer consumes batches.
+//! The pool owns long-lived worker threads that receive boxed jobs from a
+//! single channel guarded by a mutex (the classic shared-receiver pattern
+//! from *The Rust Programming Language*, ch. 20). It is used where scoped
+//! helpers are awkward — e.g. pipelined corpus generation while the
+//! trainer consumes batches.
 //!
 //! Shutdown is by dropping the pool: the channel disconnects and workers
 //! exit after draining outstanding jobs. `join` waits for quiescence via a
 //! pending-job counter + condvar, the pattern recommended in *Rust Atomics
 //! and Locks* (ch. 1, condition variables).
 
-use parking_lot::{Condvar, Mutex};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 struct Shared {
     pending: Mutex<usize>,
     quiescent: Condvar,
+    /// Mirror of `pending` for observability dashboards.
+    depth_gauge: astro_telemetry::metrics::Gauge,
 }
 
 /// A fixed-size worker pool.
 pub struct ThreadPool {
-    sender: Option<crossbeam::channel::Sender<Job>>,
+    sender: Option<Sender<Job>>,
     workers: Vec<std::thread::JoinHandle<()>>,
     shared: Arc<Shared>,
 }
@@ -30,25 +34,32 @@ impl ThreadPool {
     /// Spawn a pool with `size` workers (`size` is clamped to at least 1).
     pub fn new(size: usize) -> Self {
         let size = size.max(1);
-        let (sender, receiver) = crossbeam::channel::unbounded::<Job>();
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
         let shared = Arc::new(Shared {
             pending: Mutex::new(0),
             quiescent: Condvar::new(),
+            depth_gauge: astro_telemetry::gauge("pool.queue_depth"),
         });
         let workers = (0..size)
             .map(|i| {
-                let rx = receiver.clone();
+                let rx: Arc<Mutex<Receiver<Job>>> = Arc::clone(&receiver);
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("astro-pool-{i}"))
-                    .spawn(move || {
-                        while let Ok(job) = rx.recv() {
-                            job();
-                            let mut pending = shared.pending.lock();
-                            *pending -= 1;
-                            if *pending == 0 {
-                                shared.quiescent.notify_all();
-                            }
+                    .spawn(move || loop {
+                        // Hold the lock only while receiving, not while
+                        // running the job, so workers execute concurrently.
+                        let job = match rx.lock().expect("pool receiver poisoned").recv() {
+                            Ok(job) => job,
+                            Err(_) => break, // channel disconnected
+                        };
+                        job();
+                        let mut pending = shared.pending.lock().expect("pending poisoned");
+                        *pending -= 1;
+                        shared.depth_gauge.set(*pending as i64);
+                        if *pending == 0 {
+                            shared.quiescent.notify_all();
                         }
                     })
                     .expect("failed to spawn pool worker")
@@ -66,14 +77,20 @@ impl ThreadPool {
         self.workers.len()
     }
 
+    /// Jobs submitted but not yet completed.
+    pub fn queue_depth(&self) -> usize {
+        *self.shared.pending.lock().expect("pending poisoned")
+    }
+
     /// Submit a job for asynchronous execution.
     pub fn execute<F>(&self, job: F)
     where
         F: FnOnce() + Send + 'static,
     {
         {
-            let mut pending = self.shared.pending.lock();
+            let mut pending = self.shared.pending.lock().expect("pending poisoned");
             *pending += 1;
+            self.shared.depth_gauge.set(*pending as i64);
         }
         self.sender
             .as_ref()
@@ -84,9 +101,9 @@ impl ThreadPool {
 
     /// Block until every submitted job has completed.
     pub fn join(&self) {
-        let mut pending = self.shared.pending.lock();
+        let mut pending = self.shared.pending.lock().expect("pending poisoned");
         while *pending > 0 {
-            self.shared.quiescent.wait(&mut pending);
+            pending = self.shared.quiescent.wait(pending).expect("pending poisoned");
         }
     }
 }
@@ -133,6 +150,16 @@ mod tests {
     }
 
     #[test]
+    fn queue_depth_drains_to_zero() {
+        let pool = ThreadPool::new(2);
+        for _ in 0..8 {
+            pool.execute(|| std::thread::sleep(std::time::Duration::from_millis(1)));
+        }
+        pool.join();
+        assert_eq!(pool.queue_depth(), 0);
+    }
+
+    #[test]
     fn drop_waits_for_outstanding_jobs() {
         let counter = Arc::new(AtomicUsize::new(0));
         {
@@ -152,7 +179,7 @@ mod tests {
     #[test]
     fn jobs_can_submit_results_through_channels() {
         let pool = ThreadPool::new(3);
-        let (tx, rx) = crossbeam::channel::unbounded();
+        let (tx, rx) = channel();
         for i in 0..20u64 {
             let tx = tx.clone();
             pool.execute(move || {

@@ -89,7 +89,8 @@ impl Zipf {
         }
     }
 
-    /// Number of ranks.
+    /// Number of ranks (always > 0 by construction).
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> usize {
         self.table.len()
     }

@@ -1,0 +1,194 @@
+//! Structured events and their JSONL encoding.
+//!
+//! An [`Event`] is a named bag of typed fields serialised as one JSON
+//! object per line. The encoder emits only the JSON subset the repo's own
+//! parser (`astro_eval::json`) accepts: objects, strings with
+//! `\n \t \r \" \\` escapes, finite numbers, booleans and `null`.
+//! Control characters outside that escape set are replaced with a space so
+//! every emitted line is guaranteed to round-trip.
+
+use crate::sink;
+
+/// A field value. Non-finite floats serialise as `null` (JSON has no NaN).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A string.
+    Str(String),
+    /// A float.
+    F64(f64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A boolean.
+    Bool(bool),
+}
+
+/// One structured event destined for the JSONL sink.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Event name, e.g. `train.step` or `span_end`.
+    pub name: String,
+    /// Ordered fields (serialisation preserves insertion order).
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// Start building an event.
+    pub fn new(name: &str) -> Event {
+        Event {
+            name: name.to_string(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Attach a string field.
+    pub fn str_field(mut self, key: &str, v: &str) -> Self {
+        self.fields.push((key.to_string(), Value::Str(v.to_string())));
+        self
+    }
+
+    /// Attach a float field.
+    pub fn f64_field(mut self, key: &str, v: f64) -> Self {
+        self.fields.push((key.to_string(), Value::F64(v)));
+        self
+    }
+
+    /// Attach an unsigned integer field.
+    pub fn u64_field(mut self, key: &str, v: u64) -> Self {
+        self.fields.push((key.to_string(), Value::U64(v)));
+        self
+    }
+
+    /// Attach a signed integer field.
+    pub fn i64_field(mut self, key: &str, v: i64) -> Self {
+        self.fields.push((key.to_string(), Value::I64(v)));
+        self
+    }
+
+    /// Attach a boolean field.
+    pub fn bool_field(mut self, key: &str, v: bool) -> Self {
+        self.fields.push((key.to_string(), Value::Bool(v)));
+        self
+    }
+
+    /// Serialise as a single-line JSON object with an `event` name and a
+    /// monotonic `t_us` timestamp field.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + 16 * self.fields.len());
+        out.push_str("{\"event\":");
+        write_json_string(&mut out, &self.name);
+        out.push_str(",\"t_us\":");
+        out.push_str(&crate::elapsed_us().to_string());
+        for (k, v) in &self.fields {
+            out.push(',');
+            write_json_string(&mut out, k);
+            out.push(':');
+            write_value(&mut out, v);
+        }
+        out.push('}');
+        out
+    }
+
+    /// Serialise and append to the active sink (no-op when none).
+    pub fn emit(self) {
+        if sink::is_active() {
+            sink::emit_line(&self.to_json());
+        }
+    }
+}
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Str(s) => write_json_string(out, s),
+        Value::F64(x) => {
+            if x.is_finite() {
+                out.push_str(&format_f64(*x));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::U64(x) => out.push_str(&x.to_string()),
+        Value::I64(x) => out.push_str(&x.to_string()),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+    }
+}
+
+/// Format a finite f64 so it parses back as a JSON number (no exponent
+/// notation is produced by Rust's `Display`, which is what we rely on).
+fn format_f64(x: f64) -> String {
+    let s = format!("{x}");
+    debug_assert!(!s.contains("inf") && !s.contains("NaN"));
+    s
+}
+
+/// Append `s` as a JSON string literal using only the escapes the in-repo
+/// parser understands (`\n \t \r \" \\`); other C0 control characters are
+/// replaced by a space.
+pub fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push(' '),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn escaped(s: &str) -> String {
+        let mut out = String::new();
+        write_json_string(&mut out, s);
+        out
+    }
+
+    #[test]
+    fn escapes_supported_controls() {
+        assert_eq!(escaped("a\"b"), r#""a\"b""#);
+        assert_eq!(escaped("a\\b"), r#""a\\b""#);
+        assert_eq!(escaped("a\nb\tc\rd"), r#""a\nb\tc\rd""#);
+    }
+
+    #[test]
+    fn replaces_unsupported_controls() {
+        assert_eq!(escaped("a\u{1}b"), "\"a b\"");
+    }
+
+    #[test]
+    fn unicode_passes_through() {
+        assert_eq!(escaped("σ Ori ☉"), "\"σ Ori ☉\"");
+    }
+
+    #[test]
+    fn event_json_shape() {
+        let e = Event::new("train.step")
+            .u64_field("step", 7)
+            .f64_field("loss", 1.5)
+            .str_field("stage", "cpt")
+            .bool_field("bf16", true)
+            .i64_field("delta", -3);
+        let j = e.to_json();
+        assert!(j.starts_with("{\"event\":\"train.step\",\"t_us\":"), "{j}");
+        assert!(j.contains("\"step\":7"), "{j}");
+        assert!(j.contains("\"loss\":1.5"), "{j}");
+        assert!(j.contains("\"stage\":\"cpt\""), "{j}");
+        assert!(j.contains("\"bf16\":true"), "{j}");
+        assert!(j.contains("\"delta\":-3"), "{j}");
+        assert!(j.ends_with('}'), "{j}");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let j = Event::new("x").f64_field("bad", f64::NAN).to_json();
+        assert!(j.contains("\"bad\":null"), "{j}");
+    }
+}

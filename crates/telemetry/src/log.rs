@@ -1,0 +1,118 @@
+//! Verbosity-gated progress logging.
+//!
+//! `ASTRO_LOG=quiet|info|debug` (default `info`) controls what reaches
+//! stderr. Structured results (tables, figures) still go to stdout via
+//! plain `println!` in the binaries — this module is for *progress*
+//! chatter, which tests and scripts want silenced.
+//!
+//! Every log line that passes the gate is also mirrored into the JSONL
+//! sink as a `log` event when a sink is active, so run transcripts carry
+//! their own progress history.
+
+use crate::event::Event;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log verbosity, ordered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// No progress output.
+    Quiet = 0,
+    /// Stage-level progress (default).
+    Info = 1,
+    /// Per-step detail.
+    Debug = 2,
+}
+
+impl Level {
+    fn from_env() -> Level {
+        match std::env::var("ASTRO_LOG").as_deref() {
+            Ok("quiet") | Ok("QUIET") | Ok("0") => Level::Quiet,
+            Ok("debug") | Ok("DEBUG") | Ok("2") => Level::Debug,
+            _ => Level::Info,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Level::Quiet => "quiet",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+// 0xff = "not yet read from the environment".
+static LEVEL: AtomicU8 = AtomicU8::new(0xff);
+
+/// The active verbosity (reads `ASTRO_LOG` once).
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Quiet,
+        1 => Level::Info,
+        2 => Level::Debug,
+        _ => {
+            let l = Level::from_env();
+            LEVEL.store(l as u8, Ordering::Relaxed);
+            l
+        }
+    }
+}
+
+/// Override the verbosity programmatically (wins over `ASTRO_LOG`).
+pub fn set_level(l: Level) {
+    LEVEL.store(l as u8, Ordering::Relaxed);
+}
+
+/// True when messages at `l` should be printed.
+pub fn enabled(l: Level) -> bool {
+    l <= level() && l != Level::Quiet
+}
+
+/// Print `msg` to stderr when `l` passes the gate, and mirror it to the
+/// JSONL sink (regardless of the gate) when a sink is active.
+pub fn log(l: Level, msg: &str) {
+    if enabled(l) {
+        eprintln!("{msg}");
+    }
+    if crate::sink::is_active() {
+        Event::new("log")
+            .str_field("level", l.label())
+            .str_field("msg", msg)
+            .emit();
+    }
+}
+
+/// Log at `info` with `format!` arguments.
+#[macro_export]
+macro_rules! info {
+    ($($t:tt)*) => {
+        $crate::log::log($crate::log::Level::Info, &format!($($t)*))
+    };
+}
+
+/// Log at `debug` with `format!` arguments.
+#[macro_export]
+macro_rules! debug {
+    ($($t:tt)*) => {
+        $crate::log::log($crate::log::Level::Debug, &format!($($t)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered_and_gate() {
+        set_level(Level::Info);
+        assert!(enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_level(Level::Quiet);
+        assert!(!enabled(Level::Info));
+        assert!(!enabled(Level::Quiet), "quiet prints nothing, ever");
+        set_level(Level::Debug);
+        assert!(enabled(Level::Info) && enabled(Level::Debug));
+        // Restore the default for other tests in this binary.
+        set_level(Level::Info);
+    }
+}

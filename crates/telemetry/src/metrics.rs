@@ -1,0 +1,368 @@
+//! Global counters, gauges and fixed-bucket histograms.
+//!
+//! Handles are `Arc`-backed and lock-free on the hot path (atomic adds /
+//! compare-and-swap); only handle creation takes the registry lock, so
+//! instrumented call sites should fetch a handle once and reuse it where
+//! performance matters, or call [`counter`]`(name).add(n)` inline where it
+//! does not.
+//!
+//! Histograms use fixed power-of-two bucket boundaries (1, 2, 4, … 2³⁹ by
+//! default), so observations of microsecond latencies and token counts
+//! both land in sensible buckets. Quantiles are read out as the upper
+//! boundary of the bucket containing the requested rank — the standard
+//! fixed-bucket estimate (exact max is tracked separately).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins signed gauge.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Set the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add a (possibly negative) delta.
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+struct HistInner {
+    /// Upper bucket boundaries, strictly increasing. Bucket `i` counts
+    /// observations `v <= bounds[i]` (and `> bounds[i-1]`); one extra
+    /// overflow bucket counts `v > bounds.last()`.
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// f64 bit-patterns updated by CAS loops.
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+/// A fixed-bucket histogram.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistInner>);
+
+/// Default boundaries: powers of two from 1 to 2³⁹ (~5.5e11).
+fn default_bounds() -> Vec<f64> {
+    (0..40).map(|i| (1u64 << i) as f64).collect()
+}
+
+impl Histogram {
+    fn with_bounds(bounds: Vec<f64>) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one boundary");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram boundaries must be strictly increasing"
+        );
+        let buckets = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistInner {
+            bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }))
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let h = &*self.0;
+        let idx = h.bounds.partition_point(|&b| v > b);
+        h.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        h.count.fetch_add(1, Ordering::Relaxed);
+        cas_f64(&h.sum_bits, |s| s + v);
+        cas_f64(&h.min_bits, |m| m.min(v));
+        cas_f64(&h.max_bits, |m| m.max(v));
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean of observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let c = self.count();
+        if c == 0 {
+            0.0
+        } else {
+            f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed)) / c as f64
+        }
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count() > 0).then(|| f64::from_bits(self.0.min_bits.load(Ordering::Relaxed)))
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count() > 0).then(|| f64::from_bits(self.0.max_bits.load(Ordering::Relaxed)))
+    }
+
+    /// Quantile estimate for `q` in `[0, 1]`: the upper boundary of the
+    /// bucket holding the rank-`⌈q·n⌉` observation, clamped to the exact
+    /// observed maximum (0 when empty).
+    pub fn quantile(&self, q: f64) -> f64 {
+        let h = &*self.0;
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in h.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                let upper = h.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+                return upper.min(self.max().unwrap_or(upper));
+            }
+        }
+        self.max().unwrap_or(0.0)
+    }
+}
+
+fn cas_f64(bits: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut cur = bits.load(Ordering::Relaxed);
+    loop {
+        let next = f(f64::from_bits(cur)).to_bits();
+        match bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+/// Get or create the counter `name`.
+pub fn counter(name: &str) -> Counter {
+    let mut reg = registry().lock().expect("metrics registry poisoned");
+    reg.counters
+        .entry(name.to_string())
+        .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
+        .clone()
+}
+
+/// Get or create the gauge `name`.
+pub fn gauge(name: &str) -> Gauge {
+    let mut reg = registry().lock().expect("metrics registry poisoned");
+    reg.gauges
+        .entry(name.to_string())
+        .or_insert_with(|| Gauge(Arc::new(AtomicI64::new(0))))
+        .clone()
+}
+
+/// Get or create the histogram `name` with default power-of-two buckets.
+pub fn histogram(name: &str) -> Histogram {
+    histogram_with(name, &[])
+}
+
+/// Get or create the histogram `name`; `bounds` (strictly increasing
+/// upper boundaries) apply only on first creation, empty means default.
+pub fn histogram_with(name: &str, bounds: &[f64]) -> Histogram {
+    let mut reg = registry().lock().expect("metrics registry poisoned");
+    reg.histograms
+        .entry(name.to_string())
+        .or_insert_with(|| {
+            Histogram::with_bounds(if bounds.is_empty() {
+                default_bounds()
+            } else {
+                bounds.to_vec()
+            })
+        })
+        .clone()
+}
+
+/// Point-in-time summary of one histogram.
+#[derive(Clone, Debug)]
+pub struct HistSummary {
+    /// Observation count.
+    pub count: u64,
+    /// Mean.
+    pub mean: f64,
+    /// Estimated quantiles.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Exact minimum.
+    pub min: f64,
+    /// Exact maximum.
+    pub max: f64,
+}
+
+/// Point-in-time snapshot of every registered metric.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram summaries by name.
+    pub histograms: Vec<(String, HistSummary)>,
+}
+
+/// Snapshot all metrics (sorted by name; zero-count entries included).
+pub fn snapshot() -> MetricsSnapshot {
+    let reg = registry().lock().expect("metrics registry poisoned");
+    MetricsSnapshot {
+        counters: reg.counters.iter().map(|(k, c)| (k.clone(), c.get())).collect(),
+        gauges: reg.gauges.iter().map(|(k, g)| (k.clone(), g.get())).collect(),
+        histograms: reg
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    HistSummary {
+                        count: h.count(),
+                        mean: h.mean(),
+                        p50: h.quantile(0.50),
+                        p95: h.quantile(0.95),
+                        p99: h.quantile(0.99),
+                        min: h.min().unwrap_or(0.0),
+                        max: h.max().unwrap_or(0.0),
+                    },
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Drop every registered metric (tests and multi-run binaries). Existing
+/// handles keep working but detach from the registry.
+pub fn reset() {
+    let mut reg = registry().lock().expect("metrics registry poisoned");
+    *reg = Registry::default();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = counter("test.metrics.counter");
+        c.add(5);
+        c.inc();
+        assert_eq!(counter("test.metrics.counter").get(), 6);
+        let g = gauge("test.metrics.gauge");
+        g.set(42);
+        g.add(-2);
+        assert_eq!(gauge("test.metrics.gauge").get(), 40);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_upper() {
+        let h = histogram_with("test.metrics.bounds", &[1.0, 2.0, 4.0]);
+        // v <= 1 → bucket 0; 1 < v <= 2 → bucket 1; v > 4 → overflow.
+        for v in [0.5, 1.0] {
+            h.observe(v);
+        }
+        h.observe(1.5);
+        h.observe(4.0);
+        h.observe(100.0);
+        assert_eq!(h.count(), 5);
+        let inner = &h.0;
+        let loads: Vec<u64> = inner.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        assert_eq!(loads, vec![2, 1, 1, 1]);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let h = histogram_with("test.metrics.quant", &[1.0, 2.0, 4.0, 8.0, 16.0]);
+        // 100 observations: 50 at 1, 45 at 3, 5 at 10.
+        for _ in 0..50 {
+            h.observe(1.0);
+        }
+        for _ in 0..45 {
+            h.observe(3.0);
+        }
+        for _ in 0..5 {
+            h.observe(10.0);
+        }
+        assert_eq!(h.quantile(0.5), 1.0); // rank 50 is in bucket (<=1)
+        assert_eq!(h.quantile(0.95), 4.0); // rank 95 in (2,4]
+        assert_eq!(h.quantile(0.99), 10.0); // rank 99 in (8,16], clamped to max
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(10.0));
+        assert!((h.mean() - (50.0 + 135.0 + 50.0) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_empty_and_nan() {
+        let h = histogram("test.metrics.empty");
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        h.observe(f64::NAN); // ignored
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn default_buckets_cover_latency_scales() {
+        let h = histogram("test.metrics.default");
+        h.observe(3.0); // 3 µs
+        h.observe(1_000_000.0); // 1 s in µs
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(1.0) >= 1_000_000.0);
+    }
+
+    #[test]
+    fn snapshot_lists_registered_metrics() {
+        counter("test.metrics.snap").add(3);
+        let snap = snapshot();
+        assert!(snap
+            .counters
+            .iter()
+            .any(|(k, v)| k == "test.metrics.snap" && *v >= 3));
+    }
+}

@@ -1,0 +1,112 @@
+//! The global JSONL sink.
+//!
+//! At most one sink is active per process: either a buffered file
+//! (`telemetry.jsonl` next to experiment outputs) or an in-memory buffer
+//! (tests). All emitters in this crate are no-ops until [`init_file`] or
+//! [`init_memory`] installs one, so instrumented library code costs one
+//! atomic load per event when telemetry is off.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+enum Target {
+    File(BufWriter<File>),
+    Memory(Vec<String>),
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static SINK: Mutex<Option<Target>> = Mutex::new(None);
+
+/// True when a sink is installed (fast path for emitters).
+pub fn is_active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Install a file sink, truncating `path`. Replaces any previous sink
+/// (flushing it first).
+pub fn init_file(path: &Path) -> std::io::Result<()> {
+    let file = File::create(path)?;
+    install(Target::File(BufWriter::new(file)));
+    Ok(())
+}
+
+/// Install an in-memory sink (used by tests).
+pub fn init_memory() {
+    install(Target::Memory(Vec::new()));
+}
+
+fn install(target: Target) {
+    let mut sink = SINK.lock().expect("sink poisoned");
+    if let Some(Target::File(mut w)) = sink.take() {
+        let _ = w.flush();
+    }
+    *sink = Some(target);
+    ACTIVE.store(true, Ordering::Relaxed);
+}
+
+/// Append one pre-serialised JSON line. No-op without a sink.
+pub fn emit_line(line: &str) {
+    if !is_active() {
+        return;
+    }
+    let mut sink = SINK.lock().expect("sink poisoned");
+    match sink.as_mut() {
+        Some(Target::File(w)) => {
+            let _ = writeln!(w, "{line}");
+        }
+        Some(Target::Memory(lines)) => lines.push(line.to_string()),
+        None => {}
+    }
+}
+
+/// Drain the in-memory sink's lines (empty for a file sink or no sink).
+pub fn drain_memory() -> Vec<String> {
+    let mut sink = SINK.lock().expect("sink poisoned");
+    match sink.as_mut() {
+        Some(Target::Memory(lines)) => std::mem::take(lines),
+        _ => Vec::new(),
+    }
+}
+
+/// Flush and uninstall the sink (file contents become visible on disk).
+pub fn close() {
+    let mut sink = SINK.lock().expect("sink poisoned");
+    if let Some(Target::File(mut w)) = sink.take() {
+        let _ = w.flush();
+    }
+    *sink = None;
+    ACTIVE.store(false, Ordering::Relaxed);
+}
+
+/// Flush the file sink without uninstalling it.
+pub fn flush() {
+    let mut sink = SINK.lock().expect("sink poisoned");
+    if let Some(Target::File(w)) = sink.as_mut() {
+        let _ = w.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_sink_writes_lines() {
+        let dir = std::env::temp_dir().join(format!("astro-telemetry-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sink.jsonl");
+        init_file(&path).unwrap();
+        emit_line("{\"event\":\"a\"}");
+        emit_line("{\"event\":\"b\"}");
+        close();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "{\"event\":\"a\"}\n{\"event\":\"b\"}\n");
+        assert!(!is_active());
+        // Emitting with no sink must be a silent no-op.
+        emit_line("{\"event\":\"dropped\"}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

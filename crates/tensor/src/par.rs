@@ -32,7 +32,7 @@ pub fn matmul_par(
         return;
     }
     let rows_per = m.div_ceil(threads);
-    crossbeam_scope(out, a, m, n, rows_per, |chunk, a_rows, rows| {
+    scoped_row_chunks(out, a, m, n, rows_per, |chunk, a_rows, rows| {
         matmul_acc(chunk, a_rows, b, rows, k, n);
     });
 }
@@ -57,7 +57,7 @@ pub fn matmul_a_bt_par(
         return;
     }
     let rows_per = m.div_ceil(threads);
-    crossbeam_scope(out, a, m, n, rows_per, |chunk, a_rows, rows| {
+    scoped_row_chunks(out, a, m, n, rows_per, |chunk, a_rows, rows| {
         matmul_a_bt_acc(chunk, a_rows, b, rows, k, n);
     });
 }
@@ -69,7 +69,7 @@ fn effective_threads(m: usize, requested: usize) -> usize {
 /// Split `out` and `a` into matching row chunks and run `body` on scoped
 /// threads. `a` rows are inferred from chunk sizes (`a` row length =
 /// `a.len() / m`).
-fn crossbeam_scope<F>(
+fn scoped_row_chunks<F>(
     out: &mut [f32],
     a: &[f32],
     m: usize,
@@ -80,7 +80,7 @@ fn crossbeam_scope<F>(
     F: Fn(&mut [f32], &[f32], usize) + Sync,
 {
     let k = a.len() / m;
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         let mut out_rest = out;
         let mut a_rest = a;
         let mut remaining = m;
@@ -92,10 +92,9 @@ fn crossbeam_scope<F>(
             a_rest = a_tail;
             remaining -= rows;
             let body = &body;
-            s.spawn(move |_| body(out_chunk, a_chunk, rows));
+            s.spawn(move || body(out_chunk, a_chunk, rows));
         }
-    })
-    .expect("parallel matmul worker panicked");
+    });
 }
 
 #[cfg(test)]

@@ -229,7 +229,7 @@ mod tests {
     fn ensure_pieces_noop_when_already_present() {
         let corpus = "Answer: A ".repeat(100);
         let with = train_bpe(
-            &[corpus.clone()],
+            std::slice::from_ref(&corpus),
             &BpeTrainerConfig {
                 vocab_size: 300,
                 min_pair_count: 1,

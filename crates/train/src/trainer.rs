@@ -117,6 +117,15 @@ pub fn train_lm(
     rng: &Rng,
 ) -> TrainReport {
     assert!(cfg.devices >= 1 && cfg.grad_accum >= 1 && cfg.steps >= 1);
+    let kind = match source {
+        BatchSource::Lm(_) => "lm",
+        BatchSource::Sft(..) => "sft",
+    };
+    let train_span =
+        astro_telemetry::span!("train", kind = kind, devices = cfg.devices, steps = cfg.steps);
+    let tokens_counter = astro_telemetry::counter("train.tokens");
+    let steps_counter = astro_telemetry::counter("train.steps");
+    let step_tokens = (cfg.devices * cfg.grad_accum * cfg.batch * cfg.seq) as u64;
     let schedule = CosineSchedule::new(cfg.lr, cfg.steps, cfg.warmup_ratio);
     let n = params.data.len();
 
@@ -138,6 +147,9 @@ pub fn train_lm(
     let mut grid = DeviceGrid::new(devices);
 
     let mut losses = Vec::new();
+    // Rate bookkeeping for `train.step` telemetry: tokens since the last
+    // recorded step over the wall time since then.
+    let mut mark = (std::time::Instant::now(), 0u64);
     for step in 0..cfg.steps {
         let inv_accum = 1.0 / cfg.grad_accum as f32;
         // Local compute + ring all-reduce.
@@ -173,22 +185,44 @@ pub fn train_lm(
         );
         // Identical update on every replica.
         let lr = schedule.lr_at(step);
+        let mut grad_norm0 = f32::NAN;
         for rank in 0..cfg.devices {
             let dev = grid.device_mut(rank);
             if cfg.grad_clip > 0.0 {
-                clip_grad_norm(&mut dev.grad, cfg.grad_clip);
+                let norm = clip_grad_norm(&mut dev.grad, cfg.grad_clip);
+                if rank == 0 {
+                    grad_norm0 = norm;
+                }
             }
             dev.opt.step(&mut dev.params.data, &dev.grad, lr);
             if cfg.bf16_weights {
                 bf16_round_slice(&mut dev.params.data);
             }
         }
+        steps_counter.inc();
+        tokens_counter.add(step_tokens);
         let loss0 = grid.device(0).last_loss;
         let record = step == 0
             || step + 1 == cfg.steps
             || (cfg.log_every > 0 && step % cfg.log_every == 0);
         if record {
             losses.push((step, loss0));
+            let done = step + 1;
+            let dt = mark.0.elapsed().as_secs_f64();
+            let tok_per_sec = ((done - mark.1) * step_tokens) as f64 / dt.max(1e-9);
+            mark = (std::time::Instant::now(), done);
+            astro_telemetry::Event::new("train.step")
+                .str_field("kind", kind)
+                .u64_field("step", step)
+                .f64_field("loss", loss0 as f64)
+                .f64_field("lr", lr as f64)
+                .f64_field("grad_norm", grad_norm0 as f64)
+                .f64_field("tok_per_sec", tok_per_sec)
+                .emit();
+            astro_telemetry::debug!(
+                "train[{kind}] step {step}/{} loss {loss0:.4} lr {lr:.3e} {tok_per_sec:.0} tok/s",
+                cfg.steps
+            );
         }
     }
 
@@ -197,10 +231,11 @@ pub fn train_lm(
     let replicas = grid.into_devices();
     params.data = replicas.into_iter().next().expect("at least one device").params.data;
 
+    let tokens_processed = cfg.steps * step_tokens;
+    train_span.record_f64("tokens", tokens_processed as f64);
     TrainReport {
         steps: cfg.steps,
-        tokens_processed: cfg.steps
-            * (cfg.devices * cfg.grad_accum * cfg.batch * cfg.seq) as u64,
+        tokens_processed,
         losses,
         final_loss,
     }
@@ -218,7 +253,7 @@ mod tests {
     fn tok_and_stream() -> (Tokenizer, TokenStream) {
         let text = "the star shines on the galaxy and the dust of the nebula ".repeat(8);
         let tok = train_bpe(
-            &[text.clone()],
+            std::slice::from_ref(&text),
             &BpeTrainerConfig {
                 vocab_size: 290,
                 ..Default::default()
