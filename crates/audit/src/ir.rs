@@ -1,0 +1,592 @@
+//! A small shape/dtype IR over the forward graph.
+//!
+//! [`build_forward_graph`] replays the exact op sequence of
+//! `astro_model::forward::TrainContext::forward` — embed lookup, per-layer
+//! attention (RMSNorm, QKV, RoPE, causal softmax, output projection) and
+//! SwiGLU, final norm, tied LM head — against *symbolic* tensors carrying
+//! named dimensions and a dtype, but no data. Every runtime shape
+//! `assert` in `astro_tensor::matmul` / `astro_tensor::ops` and
+//! `TrainContext` has a corresponding static rule here (ids `shape.*`),
+//! so a configuration that would panic minutes into a run is rejected in
+//! microseconds with a diagnostic naming the offending operand.
+//!
+//! Dtype propagation mirrors the trainer's mixed-precision contract:
+//! weights may be stored bf16 (`TrainerConfig::bf16_weights`), but every
+//! matmul accumulates in f32 (rule `dtype.accum`), as the f32 kernels do.
+
+use crate::Diagnostic;
+
+/// Element type of a symbolic tensor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DType {
+    /// 32-bit float (all activations; kernels accumulate in f32).
+    F32,
+    /// bfloat16-rounded storage (weights when `bf16_weights` is on).
+    Bf16,
+}
+
+impl DType {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DType::F32 => "f32",
+            DType::Bf16 => "bf16",
+        }
+    }
+
+    /// The accumulation dtype of a kernel combining `self` and `other` —
+    /// always f32, matching the real kernels.
+    pub fn accum(self, _other: DType) -> DType {
+        DType::F32
+    }
+}
+
+/// One named symbolic dimension.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Dim {
+    /// Symbolic name (`m`, `c`, `f`, `t`, `hs`, `v`, ...).
+    pub name: String,
+    /// Concrete extent under the config being checked.
+    pub size: usize,
+}
+
+impl Dim {
+    /// Build a dimension.
+    pub fn new(name: &str, size: usize) -> Dim {
+        Dim {
+            name: name.to_string(),
+            size,
+        }
+    }
+}
+
+/// An ordered list of dimensions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Shape {
+    /// The dimensions, outermost first.
+    pub dims: Vec<Dim>,
+}
+
+impl Shape {
+    /// Build from `(name, size)` pairs.
+    pub fn of(dims: &[(&str, usize)]) -> Shape {
+        Shape {
+            dims: dims.iter().map(|&(n, s)| Dim::new(n, s)).collect(),
+        }
+    }
+
+    /// Total element count.
+    pub fn elems(&self) -> usize {
+        self.dims.iter().map(|d| d.size).product()
+    }
+
+    /// Render like `[m=256, c=96]`.
+    pub fn render(&self) -> String {
+        let inner: Vec<String> = self
+            .dims
+            .iter()
+            .map(|d| format!("{}={}", d.name, d.size))
+            .collect();
+        format!("[{}]", inner.join(", "))
+    }
+}
+
+/// A symbolic tensor flowing through the graph.
+#[derive(Clone, Debug)]
+pub struct Tensor {
+    /// Name for diagnostics (`q`, `h_gate`, `logits`, ...).
+    pub name: String,
+    /// Symbolic shape.
+    pub shape: Shape,
+    /// Element dtype.
+    pub dtype: DType,
+}
+
+impl Tensor {
+    /// Render like `q[m=256, c=96]:f32`.
+    pub fn render(&self) -> String {
+        format!("{}{}:{}", self.name, self.shape.render(), self.dtype.label())
+    }
+}
+
+/// The symbolic graph under construction: op counter, activation
+/// accounting and collected diagnostics.
+#[derive(Debug, Default)]
+pub struct Graph {
+    /// What configuration this graph describes (for diagnostics).
+    pub subject: String,
+    /// Ops checked so far.
+    pub ops: usize,
+    /// Diagnostics collected so far.
+    pub diags: Vec<Diagnostic>,
+}
+
+impl Graph {
+    /// Start a graph for a named subject.
+    pub fn new(subject: &str) -> Graph {
+        Graph {
+            subject: subject.to_string(),
+            ..Graph::default()
+        }
+    }
+
+    fn err(&mut self, rule: &str, msg: String) {
+        let subject = self.subject.clone();
+        self.diags.push(Diagnostic::error(rule, &subject, msg));
+    }
+
+    /// Declare an input/weight tensor.
+    pub fn tensor(&mut self, name: &str, dims: &[(&str, usize)], dtype: DType) -> Tensor {
+        let shape = Shape::of(dims);
+        for d in &shape.dims {
+            if d.size == 0 {
+                self.err(
+                    "shape.zero-dim",
+                    format!("{name}: dimension {} has extent 0", d.name),
+                );
+            }
+        }
+        Tensor {
+            name: name.to_string(),
+            shape,
+            dtype,
+        }
+    }
+
+    /// `out[m,n] = a[m,k] · b[n,k]ᵀ` — mirrors `matmul_a_bt_acc`'s
+    /// `a.len() == m*k` / `b.len() == n*k` asserts: the inner (last)
+    /// dimensions of both operands must agree.
+    pub fn matmul_a_bt(&mut self, a: &Tensor, b: &Tensor, out_name: &str) -> Tensor {
+        self.ops += 1;
+        let (ka, kb) = (last(a), last(b));
+        if ka.size != kb.size {
+            self.err(
+                "shape.matmul.inner",
+                format!(
+                    "{out_name} = {} · {}ᵀ: inner dims differ ({}={} vs {}={})",
+                    a.render(),
+                    b.render(),
+                    ka.name,
+                    ka.size,
+                    kb.name,
+                    kb.size
+                ),
+            );
+        }
+        let m = first(a);
+        let n = first(b);
+        Tensor {
+            name: out_name.to_string(),
+            shape: Shape {
+                dims: vec![m.clone(), n.clone()],
+            },
+            dtype: a.dtype.accum(b.dtype),
+        }
+    }
+
+    /// `out[m,n] = a[m,k] · b[k,n]` — mirrors `matmul_acc`'s length
+    /// asserts.
+    pub fn matmul(&mut self, a: &Tensor, b: &Tensor, out_name: &str) -> Tensor {
+        self.ops += 1;
+        let ka = last(a);
+        let kb = first(b);
+        if ka.size != kb.size {
+            self.err(
+                "shape.matmul.inner",
+                format!(
+                    "{out_name} = {} · {}: inner dims differ ({}={} vs {}={})",
+                    a.render(),
+                    b.render(),
+                    ka.name,
+                    ka.size,
+                    kb.name,
+                    kb.size
+                ),
+            );
+        }
+        Tensor {
+            name: out_name.to_string(),
+            shape: Shape {
+                dims: vec![first(a).clone(), last(b).clone()],
+            },
+            dtype: a.dtype.accum(b.dtype),
+        }
+    }
+
+    /// RMSNorm over rows — mirrors `ops::rmsnorm_rows`'s `g.len() == n`
+    /// assert: the gain vector must match the row width.
+    pub fn rmsnorm(&mut self, x: &Tensor, gain: &Tensor, out_name: &str) -> Tensor {
+        self.ops += 1;
+        let row = last(x);
+        if gain.shape.elems() != row.size {
+            self.err(
+                "shape.rmsnorm.gain",
+                format!(
+                    "{out_name} = rmsnorm({}, {}): gain has {} elems, rows are {}",
+                    x.render(),
+                    gain.render(),
+                    gain.shape.elems(),
+                    row.size
+                ),
+            );
+        }
+        let mut out = x.clone();
+        out.name = out_name.to_string();
+        out.dtype = x.dtype.accum(gain.dtype);
+        out
+    }
+
+    /// Elementwise binary op (`silu ⊙ up`, residual add) — mirrors the
+    /// equal-length contract of `ops::mul` / `ops::add_assign`.
+    pub fn elementwise(&mut self, a: &Tensor, b: &Tensor, out_name: &str) -> Tensor {
+        self.ops += 1;
+        if a.shape.elems() != b.shape.elems() {
+            self.err(
+                "shape.elementwise.len",
+                format!(
+                    "{out_name}: {} and {} have different element counts",
+                    a.render(),
+                    b.render()
+                ),
+            );
+        }
+        let mut out = a.clone();
+        out.name = out_name.to_string();
+        out.dtype = a.dtype.accum(b.dtype);
+        out
+    }
+
+    /// Embedding lookup — mirrors `forward`'s `tok < v` debug assert and
+    /// `tokens.len() == batch*seq`: rows must exist for every id the
+    /// tokenizer can emit.
+    pub fn embed(&mut self, m: usize, table: &Tensor, tokenizer_vocab: usize) -> Tensor {
+        self.ops += 1;
+        let rows = first(table);
+        if tokenizer_vocab > rows.size {
+            self.err(
+                "shape.embed.rows",
+                format!(
+                    "embedding {} has {} rows but the tokenizer can emit ids up to {} \
+                     (vocab {}); lookups would read out of bounds",
+                    table.render(),
+                    rows.size,
+                    tokenizer_vocab - 1,
+                    tokenizer_vocab
+                ),
+            );
+        }
+        Tensor {
+            name: "x0".to_string(),
+            shape: Shape {
+                dims: vec![Dim::new("m", m), last(table).clone()],
+            },
+            dtype: DType::F32,
+        }
+    }
+
+    /// RoPE application — mirrors the `head_dim` even requirement (the
+    /// rotation pairs adjacent elements) and `TrainContext::new`'s
+    /// `seq <= max_seq` assert (the tables cover `max_seq` positions).
+    pub fn rope(&mut self, q: &Tensor, head_dim: usize, seq: usize, max_seq: usize) {
+        self.ops += 1;
+        if !head_dim.is_multiple_of(2) {
+            self.err(
+                "shape.rope.head-dim",
+                format!(
+                    "rope({}): head_dim {head_dim} is odd; RoPE rotates element pairs",
+                    q.render()
+                ),
+            );
+        }
+        if seq > max_seq {
+            self.err(
+                "shape.seq.max",
+                format!(
+                    "rope({}): seq {seq} exceeds max_seq {max_seq}; no RoPE table rows \
+                     (and no KV-cache slots) exist past max_seq",
+                    q.render()
+                ),
+            );
+        }
+    }
+
+    /// Row softmax — mirrors `ops::softmax_rows`'s `x.len() == r*c`; the
+    /// attention instance additionally requires square `[t, t]` scores.
+    pub fn softmax_square(&mut self, scores: &Tensor) {
+        self.ops += 1;
+        let (r, c) = (first(scores), last(scores));
+        if r.size != c.size {
+            self.err(
+                "shape.softmax.square",
+                format!(
+                    "softmax({}): causal attention scores must be square, got {}×{}",
+                    scores.render(),
+                    r.size,
+                    c.size
+                ),
+            );
+        }
+    }
+
+    /// Cross-entropy — mirrors `ops::cross_entropy_rows`'s
+    /// `targets.len() == m` / `target < vocab` asserts.
+    pub fn cross_entropy(&mut self, logits: &Tensor, n_targets: usize, vocab: usize) {
+        self.ops += 1;
+        if first(logits).size != n_targets {
+            self.err(
+                "shape.xent.targets",
+                format!(
+                    "cross_entropy({}): {} targets for {} logit rows",
+                    logits.render(),
+                    n_targets,
+                    first(logits).size
+                ),
+            );
+        }
+        if last(logits).size < vocab {
+            self.err(
+                "shape.xent.vocab",
+                format!(
+                    "cross_entropy({}): target ids range over vocab {} but logits \
+                     have {} columns",
+                    logits.render(),
+                    vocab,
+                    last(logits).size
+                ),
+            );
+        }
+    }
+}
+
+/// First dim of `t`. The zero-sized placeholder covers the degenerate
+/// empty shape, which [`Graph::tensor`] has already diagnosed as
+/// `shape.zero-dim`, so downstream size checks stay well-defined.
+fn first(t: &Tensor) -> Dim {
+    t.shape.dims.first().cloned().unwrap_or_else(|| Dim::new("empty", 0))
+}
+
+/// Last dim of `t`, with the same empty-shape fallback as [`first`].
+fn last(t: &Tensor) -> Dim {
+    t.shape.dims.last().cloned().unwrap_or_else(|| Dim::new("empty", 0))
+}
+
+/// What a successfully checked forward graph looks like.
+#[derive(Clone, Debug)]
+pub struct GraphSummary {
+    /// Configuration label.
+    pub subject: String,
+    /// Symbolic ops checked.
+    pub ops: usize,
+    /// Trainable parameter count (matches `Layout::new`).
+    pub params: usize,
+    /// f32 elements of activation/scratch storage one `TrainContext`
+    /// allocates (mirrors `TrainContext::new`).
+    pub activation_elems: usize,
+    /// Training FLOPs per token (from `ModelConfig`).
+    pub flops_per_token: f64,
+    /// Logits shape `[rows, vocab]`.
+    pub logits: [usize; 2],
+}
+
+/// Replay `TrainContext::forward` symbolically for one `(batch, seq)`
+/// shape. `tokenizer_vocab` is the id range the data pipeline can emit;
+/// `bf16_weights` sets the declared weight storage dtype. Returns the
+/// summary plus every diagnostic found (empty ⇒ the real forward/backward
+/// cannot trip a shape assert for this config).
+pub fn build_forward_graph(
+    cfg: &astro_model::ModelConfig,
+    batch: usize,
+    seq: usize,
+    tokenizer_vocab: usize,
+    bf16_weights: bool,
+) -> (GraphSummary, Vec<Diagnostic>) {
+    let subject = format!(
+        "d{}·L{}·h{}·ff{}·v{} b{} t{}",
+        cfg.d_model, cfg.n_layers, cfg.n_heads, cfg.d_ff, cfg.vocab_size, batch, seq
+    );
+    let mut g = Graph::new(&subject);
+    let (c, f, v) = (cfg.d_model, cfg.d_ff, cfg.vocab_size);
+    let h = cfg.n_heads;
+    let m = batch * seq;
+
+    // `ModelConfig::validate` parity: divisibility must hold before
+    // head_dim() is even meaningful.
+    if h == 0 || c % h != 0 {
+        g.err(
+            "shape.heads.divisibility",
+            format!("d_model {c} not divisible by n_heads {h}"),
+        );
+    }
+    if batch == 0 || seq == 0 {
+        g.err("shape.zero-dim", format!("batch {batch} × seq {seq} is empty"));
+    }
+    let hs = if h > 0 { c / h.max(1) } else { 0 };
+    let wdt = if bf16_weights { DType::Bf16 } else { DType::F32 };
+
+    // Weights (layouts mirror `params::Layout`).
+    let embed = g.tensor("embed", &[("v", v), ("c", c)], wdt);
+    let norm_gain = g.tensor("norm", &[("c", c)], wdt);
+    let wq = g.tensor("wq", &[("c", c), ("c", c)], wdt);
+    let w_gate = g.tensor("w_gate", &[("f", f), ("c", c)], wdt);
+    let w_down = g.tensor("w_down", &[("c", c), ("f", f)], wdt);
+
+    // Embed lookup.
+    let mut x = g.embed(m, &embed, tokenizer_vocab);
+
+    for _layer in 0..cfg.n_layers {
+        // Attention block.
+        let ln1 = g.rmsnorm(&x, &norm_gain, "ln1");
+        let q = g.matmul_a_bt(&ln1, &wq, "q");
+        let k = g.matmul_a_bt(&ln1, &wq, "k");
+        let vv = g.matmul_a_bt(&ln1, &wq, "v");
+        g.rope(&q, hs, seq, cfg.max_seq);
+        // Per-(batch, head) tiles: [t, hs] gathered from [m, c].
+        let qh = g.tensor("qh", &[("t", seq), ("hs", hs)], q.dtype);
+        let kh = g.tensor("kh", &[("t", seq), ("hs", hs)], k.dtype);
+        let vh = g.tensor("vh", &[("t", seq), ("hs", hs)], vv.dtype);
+        let scores = g.matmul_a_bt(&qh, &kh, "scores");
+        g.softmax_square(&scores);
+        let oh = g.matmul(&scores, &vh, "oh");
+        debug_assert_eq!(oh.shape.elems(), seq * hs);
+        let att_out = g.tensor("att_out", &[("m", m), ("c", c)], DType::F32);
+        let proj = g.matmul_a_bt(&att_out, &wq, "att_proj");
+        x = g.elementwise(&x, &proj, "x_mid");
+        // SwiGLU block.
+        let ln2 = g.rmsnorm(&x, &norm_gain, "ln2");
+        let gate = g.matmul_a_bt(&ln2, &w_gate, "h_gate");
+        let up = g.matmul_a_bt(&ln2, &w_gate, "h_up");
+        let act = g.elementwise(&gate, &up, "h_act");
+        let down = g.matmul_a_bt(&act, &w_down, "ffn_out");
+        x = g.elementwise(&x, &down, "x_next");
+    }
+
+    // Final norm + tied LM head + loss.
+    let xf = g.rmsnorm(&x, &norm_gain, "xf_norm");
+    let logits = g.matmul_a_bt(&xf, &embed, "logits");
+    if logits.dtype != DType::F32 {
+        // Unreachable with the accum rule, but the contract is explicit:
+        // losses are computed from f32 logits.
+        let subject2 = g.subject.clone();
+        g.diags.push(Diagnostic::error(
+            "dtype.accum",
+            &subject2,
+            format!("logits dtype {} — kernels accumulate in f32", logits.dtype.label()),
+        ));
+    }
+    g.cross_entropy(&logits, m, tokenizer_vocab);
+
+    let summary = GraphSummary {
+        subject,
+        ops: g.ops,
+        params: cfg.param_count(),
+        activation_elems: train_context_elems(cfg, batch, seq),
+        flops_per_token: cfg.train_flops_per_token(),
+        logits: [m, v],
+    };
+    (summary, g.diags)
+}
+
+/// f32 elements allocated by `TrainContext::new` for `(batch, seq)` —
+/// kept in lockstep with that constructor so memory budgets are honest.
+pub fn train_context_elems(cfg: &astro_model::ModelConfig, batch: usize, seq: usize) -> usize {
+    let m = batch * seq;
+    let (c, f, v, l) = (cfg.d_model, cfg.d_ff, cfg.vocab_size, cfg.n_layers);
+    let h = cfg.n_heads;
+    let hs = c.checked_div(h).unwrap_or(0);
+    let t = seq;
+    // Stored activations.
+    (l + 1) * m * c                       // xs
+        + l * (7 * m * c + 2 * m)         // ln1/q/k/v/att_out/x_mid/ln2 + inv
+        + l * batch * h * t * t           // att
+        + l * 4 * m * f                   // h_gate/h_silu/h_up/h_act
+        + m * c + m                       // xf_norm + xf_inv
+        + 2 * m * v                       // logits + dlogits
+        // Backward scratch.
+        + 6 * m * c                       // dx_a/dx_b/dxm/d_q/d_k/d_v
+        + 4 * m * f                       // d_gate/d_silu/d_up/d_act
+        + m * c                           // scratch_mc
+        // Per-head tiles + score scratch.
+        + 8 * t * hs + 3 * t * t
+        // RoPE tables.
+        + cfg.max_seq * hs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astro_model::{ModelConfig, Tier};
+
+    #[test]
+    fn tier_configs_build_clean_graphs() {
+        for tier in [Tier::S7b, Tier::S8b, Tier::S70b] {
+            let cfg = ModelConfig::tier(tier, 512);
+            let (s, diags) = build_forward_graph(&cfg, 4, 64, 512, true);
+            assert!(diags.is_empty(), "{tier:?}: {:?}", diags);
+            assert_eq!(s.logits, [4 * 64, 512]);
+            assert!(s.ops > cfg.n_layers * 10);
+            assert_eq!(s.params, cfg.param_count());
+        }
+    }
+
+    #[test]
+    fn head_divisibility_violation_is_caught() {
+        let mut cfg = ModelConfig::tiny(64);
+        cfg.n_heads = 3;
+        let (_, diags) = build_forward_graph(&cfg, 1, 8, 64, false);
+        assert!(diags.iter().any(|d| d.rule == "shape.heads.divisibility"), "{diags:?}");
+    }
+
+    #[test]
+    fn odd_head_dim_is_caught() {
+        // d_model 18, 2 heads → head_dim 9 (odd) — divisible but RoPE-invalid.
+        let mut cfg = ModelConfig::tiny(64);
+        cfg.d_model = 18;
+        cfg.n_heads = 2;
+        let (_, diags) = build_forward_graph(&cfg, 1, 8, 64, false);
+        assert!(diags.iter().any(|d| d.rule == "shape.rope.head-dim"), "{diags:?}");
+    }
+
+    #[test]
+    fn vocab_mismatch_is_caught() {
+        let cfg = ModelConfig::tiny(64);
+        let (_, diags) = build_forward_graph(&cfg, 1, 8, 100, false);
+        assert!(diags.iter().any(|d| d.rule == "shape.embed.rows"), "{diags:?}");
+        assert!(diags.iter().any(|d| d.rule == "shape.xent.vocab"), "{diags:?}");
+    }
+
+    #[test]
+    fn over_long_sequence_is_caught() {
+        let cfg = ModelConfig::tiny(64);
+        let (_, diags) = build_forward_graph(&cfg, 1, cfg.max_seq + 1, 64, false);
+        assert!(diags.iter().any(|d| d.rule == "shape.seq.max"), "{diags:?}");
+    }
+
+    #[test]
+    fn activation_elems_match_real_context() {
+        // Ground truth via a real allocation: count the f32s the formula
+        // claims against a spot-check of the dominant terms.
+        let cfg = ModelConfig::tiny(24);
+        let elems = train_context_elems(&cfg, 2, 8);
+        let m = 16;
+        // Must at least cover xs + logits + dlogits, the dominant fixed terms.
+        assert!(elems > (cfg.n_layers + 1) * m * cfg.d_model + 2 * m * cfg.vocab_size);
+        // And scale linearly in batch.
+        let double = train_context_elems(&cfg, 4, 8);
+        assert!(double < 2 * elems && double > elems);
+    }
+
+    #[test]
+    fn dtype_accumulates_to_f32() {
+        assert_eq!(DType::Bf16.accum(DType::Bf16), DType::F32);
+        let cfg = ModelConfig::tiny(32);
+        let (_, diags) = build_forward_graph(&cfg, 1, 4, 32, true);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn shapes_render_readably() {
+        let s = Shape::of(&[("m", 256), ("c", 96)]);
+        assert_eq!(s.render(), "[m=256, c=96]");
+        assert_eq!(s.elems(), 256 * 96);
+    }
+}

@@ -1,0 +1,137 @@
+//! Static analysis for the AstroMLab 2 reproduction: reject invalid
+//! experiments *before* any compute is spent, and enforce repo hygiene
+//! machine-readably.
+//!
+//! The study grid (3 base scales × 3 CPT recipes × SFT × 3 eval methods,
+//! plus the DESIGN.md ablations) means dozens of config combinations flow
+//! through the trainer and eval pipeline. A bad combination used to fail
+//! only at runtime, via an `assert_eq!` deep in `astro_tensor`'s matmul —
+//! minutes into a 70B-class run. This crate provides three passes, exposed
+//! through the `astro-audit` binary and callable as a library:
+//!
+//! * [`ir`] + [`preflight`] — a small **shape/dtype IR** over the forward
+//!   graph derived from `ModelConfig`/`StudyConfig`: symbolic shape
+//!   inference through embed → attention → MLP → head, dtype propagation
+//!   (f32/bf16), tokenizer-vocab vs embedding-rows consistency,
+//!   eval-method/prompt compatibility, and per-run memory/FLOP budget
+//!   estimates. Every runtime shape `assert` in `astro_tensor` has a
+//!   corresponding static rule here (rule ids `shape.*`).
+//! * [`lockorder`] — extraction of the **lock-acquisition graph** of
+//!   `crates/parallel` and `crates/telemetry` from source, cycle
+//!   detection, and a cross-check against the ranks declared to the
+//!   runtime `astro_telemetry::lockcheck` instrumentation.
+//! * [`lint`] — a zero-dep, line/token-level **source linter** enforcing
+//!   repo rules clippy cannot (no `unwrap()` in library crates outside
+//!   tests, no `println!` outside `bin/`, `#[must_use]` on builder-style
+//!   constructors, doc comments on `pub` items, telemetry-span coverage on
+//!   pipeline entry points), with a shrink-only allowlist.
+//!
+//! [`report`] serialises everything into `audit_report.json` using the
+//! same JSON subset the in-repo parser (`astro_eval::json`) reads back.
+
+pub mod ir;
+pub mod lint;
+pub mod lockorder;
+pub mod preflight;
+pub mod report;
+
+pub use ir::{DType, Dim, GraphSummary, Shape};
+pub use lint::{lint_workspace, LintConfig, LintReport};
+pub use lockorder::{analyze_locks, LockReport};
+pub use preflight::{preflight_model, preflight_study, PreflightReport, RunCheck};
+
+/// How bad a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// The run would fail or compute garbage; preflight rejects it.
+    Error,
+    /// Suspicious but survivable (e.g. eval prompt longer than the
+    /// training window); reported, does not reject.
+    Warning,
+}
+
+impl Severity {
+    /// Machine-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// One finding from any pass.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Stable rule identifier (`shape.matmul.inner`, `lint.no-unwrap`, ...).
+    pub rule: String,
+    /// What the finding is about (a config label, `file:line`, a lock
+    /// name).
+    pub subject: String,
+    /// Human-readable, pointed message.
+    pub message: String,
+    /// Error or warning.
+    pub severity: Severity,
+}
+
+impl Diagnostic {
+    /// Build an error diagnostic.
+    pub fn error(rule: &str, subject: &str, message: String) -> Diagnostic {
+        Diagnostic {
+            rule: rule.to_string(),
+            subject: subject.to_string(),
+            message,
+            severity: Severity::Error,
+        }
+    }
+
+    /// Build a warning diagnostic.
+    pub fn warning(rule: &str, subject: &str, message: String) -> Diagnostic {
+        Diagnostic {
+            rule: rule.to_string(),
+            subject: subject.to_string(),
+            message,
+            severity: Severity::Warning,
+        }
+    }
+
+    /// Render as a one-line `severity rule subject: message` string.
+    pub fn render(&self) -> String {
+        format!(
+            "{} [{}] {}: {}",
+            self.severity.label(),
+            self.rule,
+            self.subject,
+            self.message
+        )
+    }
+}
+
+/// Count errors in a diagnostic list.
+pub fn error_count(diags: &[Diagnostic]) -> usize {
+    diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagnostic_renders_all_parts() {
+        let d = Diagnostic::error("shape.matmul.inner", "fast/S8b", "k 96 vs 64".to_string());
+        let s = d.render();
+        assert!(s.contains("error") && s.contains("shape.matmul.inner") && s.contains("96"));
+    }
+
+    #[test]
+    fn error_count_ignores_warnings() {
+        let ds = vec![
+            Diagnostic::error("a", "s", "m".into()),
+            Diagnostic::warning("b", "s", "m".into()),
+        ];
+        assert_eq!(error_count(&ds), 1);
+    }
+}

@@ -1,0 +1,198 @@
+//! `astro-audit` — static preflight, lock-order analysis and lint gate.
+//!
+//! ```text
+//! astro-audit preflight --all-presets     # shape/dtype/budget checks, all presets
+//! astro-audit preflight --preset smoke    # one preset
+//! astro-audit locks                       # static lock-order analysis
+//! astro-audit lint                        # workspace lint gate (allowlisted)
+//! astro-audit lint --write-allowlist      # regenerate the allowlist in place
+//! astro-audit all                         # every pass + audit_report.json
+//! ```
+//!
+//! Exit status is non-zero when any error-severity diagnostic survives
+//! filtering, so CI can gate on it directly. Every invocation (except
+//! `--write-allowlist`) writes `audit_report.json` at the workspace root;
+//! pass `--report PATH` to redirect it.
+
+use astro_audit::lint::{lint_workspace, render_allowlist, LintConfig, ALLOWLIST_FILE};
+use astro_audit::lockorder::analyze_locks;
+use astro_audit::preflight::preflight_study;
+use astro_audit::report::AuditReport;
+use astro_audit::Severity;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Locate the workspace root: walk up from the current directory looking
+/// for a `Cargo.toml` next to a `crates/` directory; fall back to the
+/// compile-time manifest location.
+fn find_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return dir;
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// A named preset constructor (`smoke` / `fast` / `full`).
+type Preset = (&'static str, fn(u64) -> astromlab::StudyConfig);
+
+fn print_diags<'a, I: IntoIterator<Item = &'a astro_audit::Diagnostic>>(diags: I) {
+    for d in diags {
+        println!("  {}", d.render());
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: astro-audit <preflight [--all-presets | --preset NAME] | locks | \
+         lint [--write-allowlist] | all> [--report PATH]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { return usage() };
+    let root = find_root();
+
+    let mut report_path = root.join("audit_report.json");
+    if let Some(pos) = args.iter().position(|a| a == "--report") {
+        match args.get(pos + 1) {
+            Some(p) => report_path = PathBuf::from(p),
+            None => return usage(),
+        }
+    }
+
+    let mut seed = 0u64;
+    if let Some(pos) = args.iter().position(|a| a == "--seed") {
+        match args.get(pos + 1).and_then(|s| s.parse().ok()) {
+            Some(s) => seed = s,
+            None => return usage(),
+        }
+    }
+    let presets: &[Preset] = &[
+        ("smoke", astromlab::StudyConfig::smoke),
+        ("fast", astromlab::StudyConfig::fast),
+        ("full", astromlab::StudyConfig::full),
+    ];
+
+    let mut report = AuditReport::default();
+    match cmd.as_str() {
+        "preflight" => {
+            let selected: Vec<&Preset> =
+                if let Some(pos) = args.iter().position(|a| a == "--preset") {
+                    let Some(name) = args.get(pos + 1) else { return usage() };
+                    let Some(p) = presets.iter().find(|(n, _)| n == name) else {
+                        eprintln!(
+                            "unknown preset {name:?}; available: smoke, fast, full"
+                        );
+                        return ExitCode::from(2);
+                    };
+                    vec![p]
+                } else {
+                    // default and --all-presets are the same: check everything
+                    presets.iter().collect()
+                };
+            for (name, make) in selected {
+                let pf = preflight_study(&make(seed), name);
+                let errs = pf.errors();
+                let warns = pf
+                    .all_diagnostics()
+                    .iter()
+                    .filter(|d| d.severity == Severity::Warning)
+                    .count();
+                println!(
+                    "preflight {name}: {} run checks, {errs} errors, {warns} warnings",
+                    pf.checks.len()
+                );
+                print_diags(pf.all_diagnostics());
+                report.preflight.push(pf);
+            }
+        }
+        "locks" => {
+            let locks = analyze_locks(&root);
+            println!(
+                "locks: {} annotated sites, {} edges, {} diagnostics",
+                locks.sites.len(),
+                locks.edges.len(),
+                locks.diagnostics.len()
+            );
+            print_diags(&locks.diagnostics);
+            report.locks = Some(locks);
+        }
+        "lint" => {
+            if args.iter().any(|a| a == "--write-allowlist") {
+                let (findings, scanned) = astro_audit::lint::collect_findings(&root);
+                let path = root.join(ALLOWLIST_FILE);
+                let body = render_allowlist(&findings);
+                if let Err(e) = std::fs::write(&path, body) {
+                    eprintln!("failed to write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "wrote {} entries ({} files scanned) to {}",
+                    findings.len(),
+                    scanned,
+                    path.display()
+                );
+                return ExitCode::SUCCESS;
+            }
+            let lint = lint_workspace(&LintConfig::new(&root));
+            println!(
+                "lint: {} files scanned, {} suppressed by allowlist, {} diagnostics",
+                lint.files_scanned,
+                lint.suppressed,
+                lint.diagnostics.len()
+            );
+            print_diags(&lint.diagnostics);
+            report.lint = Some(lint);
+        }
+        "all" => {
+            for (name, make) in presets {
+                let pf = preflight_study(&make(seed), name);
+                println!(
+                    "preflight {name}: {} run checks, {} errors",
+                    pf.checks.len(),
+                    pf.errors()
+                );
+                print_diags(pf.all_diagnostics());
+                report.preflight.push(pf);
+            }
+            let locks = analyze_locks(&root);
+            println!("locks: {} sites, {} diagnostics", locks.sites.len(), locks.diagnostics.len());
+            print_diags(&locks.diagnostics);
+            report.locks = Some(locks);
+            let lint = lint_workspace(&LintConfig::new(&root));
+            println!(
+                "lint: {} files, {} suppressed, {} diagnostics",
+                lint.files_scanned,
+                lint.suppressed,
+                lint.diagnostics.len()
+            );
+            print_diags(&lint.diagnostics);
+            report.lint = Some(lint);
+        }
+        _ => return usage(),
+    }
+
+    let errors = report.error_count();
+    let warnings = report.warning_count();
+    if let Err(e) = std::fs::write(&report_path, report.to_json()) {
+        eprintln!("failed to write {}: {e}", report_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "audit: {errors} errors, {warnings} warnings -> {}",
+        report_path.display()
+    );
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,572 @@
+//! The preflight pass: validate every run a `StudyConfig` implies before
+//! any compute is spent.
+//!
+//! [`preflight_study`] enumerates the full grid one study executes — the
+//! eight Table-I models of `astromlab::ModelId`, the A1–A4 ablation
+//! points, and the three evaluation methods — and checks each against the
+//! shape/dtype IR ([`crate::ir`]), the trainer's own entry asserts, the
+//! tokenizer-vocab floor, eval-method/prompt compatibility, and per-run
+//! memory/FLOP budgets. Rule ids are stable (`preflight.*`, `shape.*`) so
+//! `audit_report.json` consumers can track specific regressions.
+
+use crate::ir::{build_forward_graph, train_context_elems};
+use crate::{error_count, Diagnostic, Severity};
+use astro_model::{ModelConfig, Tier};
+use astro_tokenizer::SPECIALS;
+use astromlab::{ModelId, StudyConfig};
+
+/// Rough tokens per rendered MCQ (question + options + answer line),
+/// calibrated against the two-shot prompt the fast preset trains for
+/// (~225 tokens ⇒ ~75/question).
+pub const EST_TOKENS_PER_QUESTION: usize = 75;
+
+/// Reject runs whose estimated working set exceeds this (the repo targets
+/// a single workstation; anything past 8 GiB is a mis-scaled config).
+pub const MEMORY_BUDGET_BYTES: u64 = 8 << 30;
+
+/// Warn when one run's estimated training FLOPs exceed this (≈ hours of
+/// single-core compute — not wrong, but worth flagging).
+pub const FLOP_WARN_BUDGET: f64 = 1.0e16;
+
+/// The static verdict on one run (one model's training + eval, or one
+/// ablation point).
+#[derive(Clone, Debug)]
+pub struct RunCheck {
+    /// What run this is (`"AstroLLaMA-2-70B-AIC (sim)"`, `"A1/heavy-ocr"`, ...).
+    pub subject: String,
+    /// Trainable parameters.
+    pub params: usize,
+    /// f32 elements of activation/scratch storage per device.
+    pub activation_elems: usize,
+    /// Estimated peak working-set bytes across all devices (weights +
+    /// grads + AdamW moments + activations).
+    pub est_bytes: u64,
+    /// Estimated total training FLOPs for the run.
+    pub est_flops: f64,
+    /// Everything found while checking this run.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl RunCheck {
+    /// True when no error-severity diagnostics were found.
+    pub fn ok(&self) -> bool {
+        error_count(&self.diagnostics) == 0
+    }
+}
+
+/// The full preflight verdict for one `StudyConfig`.
+#[derive(Clone, Debug)]
+pub struct PreflightReport {
+    /// Preset label (`smoke`, `fast`, `full`, or a custom tag).
+    pub label: String,
+    /// Study-level diagnostics (steps, learning rates, vocab floor, ...).
+    pub config_diagnostics: Vec<Diagnostic>,
+    /// Per-run checks across the zoo and the ablation grid.
+    pub checks: Vec<RunCheck>,
+}
+
+impl PreflightReport {
+    /// True when nothing error-severity was found anywhere.
+    pub fn ok(&self) -> bool {
+        error_count(&self.config_diagnostics) == 0 && self.checks.iter().all(RunCheck::ok)
+    }
+
+    /// Every diagnostic, config-level first.
+    pub fn all_diagnostics(&self) -> Vec<&Diagnostic> {
+        self.config_diagnostics
+            .iter()
+            .chain(self.checks.iter().flat_map(|c| c.diagnostics.iter()))
+            .collect()
+    }
+
+    /// Total error count.
+    pub fn errors(&self) -> usize {
+        self.all_diagnostics()
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+}
+
+/// The smallest vocabulary any study tokenizer can have: 256 byte tokens
+/// plus the chat special tokens.
+pub fn vocab_floor() -> usize {
+    256 + SPECIALS.len()
+}
+
+/// How many single-token pieces `Study::prepare` forces into the
+/// vocabulary (answer-letter variants plus attribute-value head words) —
+/// merges the BPE trainer appends even past the configured target size.
+pub fn ensured_piece_count() -> usize {
+    let mut ensure: Vec<String> = [" A", " B", " C", " D"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    for rel in astro_world::RELATIONS {
+        for v in rel.values() {
+            if let Some(head) = v.split(' ').next() {
+                ensure.push(format!(" {head}"));
+            }
+        }
+    }
+    for rel in astro_world::GENERAL_RELATIONS {
+        for v in rel.values() {
+            ensure.push(format!(" {v}"));
+        }
+    }
+    ensure.sort();
+    ensure.dedup();
+    ensure.len()
+}
+
+/// Statically check one model architecture for one `(batch, seq)`
+/// training shape. `tokenizer_vocab` is the id range the data pipeline
+/// emits; `total_tokens` scales the FLOP estimate.
+pub fn preflight_model(
+    cfg: &ModelConfig,
+    batch: usize,
+    seq: usize,
+    tokenizer_vocab: usize,
+    devices: usize,
+    total_tokens: u64,
+    subject: &str,
+) -> RunCheck {
+    let (summary, mut diagnostics) = build_forward_graph(cfg, batch, seq, tokenizer_vocab, true);
+    // Cross-check against the model's own validator: anything it rejects
+    // must be rejected here too (belt and braces — the IR rules should
+    // subsume it).
+    if let Err(msg) = cfg.validate() {
+        if diagnostics.iter().all(|d| d.severity != Severity::Error) {
+            diagnostics.push(Diagnostic::error("shape.config", subject, msg));
+        }
+    }
+    // Working set: per device, weights + grad + two AdamW moments (all
+    // f32 in memory; bf16 is a rounding of stored values) + activations.
+    let act = train_context_elems(cfg, batch.max(1), seq.clamp(1, cfg.max_seq));
+    let est_bytes = (devices.max(1) as u64) * 4 * (4 * summary.params as u64 + act as u64);
+    if est_bytes > MEMORY_BUDGET_BYTES {
+        diagnostics.push(Diagnostic::error(
+            "preflight.budget.memory",
+            subject,
+            format!(
+                "estimated working set {:.2} GiB exceeds the {} GiB budget",
+                est_bytes as f64 / (1u64 << 30) as f64,
+                MEMORY_BUDGET_BYTES >> 30
+            ),
+        ));
+    }
+    let est_flops = summary.flops_per_token * total_tokens as f64;
+    if est_flops > FLOP_WARN_BUDGET {
+        diagnostics.push(Diagnostic::warning(
+            "preflight.budget.flops",
+            subject,
+            format!("estimated {est_flops:.2e} training FLOPs — expect a long run"),
+        ));
+    }
+    RunCheck {
+        subject: subject.to_string(),
+        params: summary.params,
+        activation_elems: act,
+        est_bytes,
+        est_flops,
+        diagnostics,
+    }
+}
+
+/// Tier index matching `StudyConfig::native_steps` ordering.
+fn tier_idx(tier: Tier) -> usize {
+    match tier {
+        Tier::S7b => 0,
+        Tier::S8b => 1,
+        Tier::S70b => 2,
+    }
+}
+
+/// Check eval-method/prompt compatibility: an n-shot prompt must fit the
+/// model's context window, and should fit the training window.
+fn check_eval_window(
+    diags: &mut Vec<Diagnostic>,
+    subject: &str,
+    shots: usize,
+    seq: usize,
+    max_seq: usize,
+) {
+    let est = (shots + 1) * EST_TOKENS_PER_QUESTION;
+    if est > max_seq {
+        diags.push(Diagnostic::error(
+            "preflight.eval.prompt-window",
+            subject,
+            format!(
+                "{shots}-shot prompt ≈{est} tokens exceeds max_seq {max_seq}; \
+                 the question itself would be truncated"
+            ),
+        ));
+    } else if est > seq {
+        diags.push(Diagnostic::warning(
+            "preflight.eval.train-window",
+            subject,
+            format!(
+                "{shots}-shot prompt ≈{est} tokens exceeds the training window \
+                 seq={seq}; eval sees relative distances never trained on"
+            ),
+        ));
+    }
+}
+
+/// Validate study-level scalars (the checks `train_lm` and friends would
+/// otherwise assert at runtime, plus the paper's hyper-parameter
+/// relations).
+fn check_config_scalars(cfg: &StudyConfig, label: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let subj = |part: &str| format!("{label}/{part}");
+    // train_lm asserts devices ≥ 1, steps ≥ 1; LmBatch needs batch ≥ 1.
+    if cfg.batch == 0 || cfg.seq == 0 || cfg.devices == 0 {
+        diags.push(Diagnostic::error(
+            "preflight.steps",
+            &subj("shape"),
+            format!(
+                "batch {} / seq {} / devices {} must all be ≥ 1",
+                cfg.batch, cfg.seq, cfg.devices
+            ),
+        ));
+    }
+    for (name, steps) in [
+        ("native_steps[S7b]", cfg.native_steps[0]),
+        ("native_steps[S8b]", cfg.native_steps[1]),
+        ("native_steps[S70b]", cfg.native_steps[2]),
+        ("cpt_steps", cfg.cpt_steps),
+        ("sft_steps", cfg.sft_steps),
+    ] {
+        if steps == 0 {
+            diags.push(Diagnostic::error(
+                "preflight.steps",
+                &subj(name),
+                "0 optimizer steps — train_lm asserts steps ≥ 1".to_string(),
+            ));
+        }
+    }
+    for (name, lr) in [
+        ("native_lr", cfg.native_lr),
+        ("cpt_lr", cfg.cpt_lr),
+        ("sft_lr", cfg.sft_lr),
+    ] {
+        if !(lr.is_finite() && lr > 0.0) {
+            diags.push(Diagnostic::error(
+                "preflight.lr",
+                &subj(name),
+                format!("learning rate {lr} must be finite and positive"),
+            ));
+        }
+    }
+    // The paper's LR relations (SFT ≪ CPT ≤ pretrain) are what the study
+    // reproduces; violating them silently changes the experiment.
+    if cfg.sft_lr >= cfg.cpt_lr {
+        diags.push(Diagnostic::warning(
+            "preflight.lr.relation",
+            &subj("sft_lr"),
+            format!(
+                "sft_lr {} ≥ cpt_lr {} — the paper trains SFT far below CPT \
+                 (3e-7 vs 2e-5)",
+                cfg.sft_lr, cfg.cpt_lr
+            ),
+        ));
+    }
+    if cfg.cpt_lr > cfg.native_lr {
+        diags.push(Diagnostic::warning(
+            "preflight.lr.relation",
+            &subj("cpt_lr"),
+            format!("cpt_lr {} above the pretraining peak {}", cfg.cpt_lr, cfg.native_lr),
+        ));
+    }
+    if !(0.0..=1.0).contains(&cfg.sft_json_fraction) {
+        diags.push(Diagnostic::error(
+            "preflight.sft.fraction",
+            &subj("sft_json_fraction"),
+            format!("{} is not a fraction in [0, 1]", cfg.sft_json_fraction),
+        ));
+    }
+    if !(cfg.sft_scale.is_finite() && cfg.sft_scale > 0.0) {
+        diags.push(Diagnostic::error(
+            "preflight.sft.scale",
+            &subj("sft_scale"),
+            format!("sft_scale {} must be finite and positive", cfg.sft_scale),
+        ));
+    }
+    if cfg.n_eval_questions == 0 {
+        diags.push(Diagnostic::error(
+            "preflight.eval.questions",
+            &subj("n_eval_questions"),
+            "0 eval questions — every score would be 0/0".to_string(),
+        ));
+    }
+    // Tokenizer vocabulary: the BPE target must at least cover the byte +
+    // special floor, and should leave room for learned merges beyond the
+    // pieces `Study::prepare` force-ensures.
+    let floor = vocab_floor();
+    if cfg.vocab_size < floor {
+        diags.push(Diagnostic::error(
+            "preflight.vocab.floor",
+            &subj("vocab_size"),
+            format!(
+                "vocab target {} below the {} byte+special floor; merges would \
+                 be impossible and answer-letter variants could not exist",
+                cfg.vocab_size, floor
+            ),
+        ));
+    } else if cfg.vocab_size < floor + ensured_piece_count() {
+        diags.push(Diagnostic::warning(
+            "preflight.vocab.margin",
+            &subj("vocab_size"),
+            format!(
+                "vocab target {} leaves no merge budget beyond the {} ensured \
+                 pieces; the tokenizer will exceed the target anyway",
+                cfg.vocab_size,
+                ensured_piece_count()
+            ),
+        ));
+    }
+    diags
+}
+
+/// Statically validate everything one `StudyConfig` will execute: the
+/// eight-zoo Table-I runs, the A1–A4 ablation grid, and the evaluation
+/// methods. No compute, no allocation beyond diagnostics.
+pub fn preflight_study(cfg: &StudyConfig, label: &str) -> PreflightReport {
+    let mut config_diagnostics = check_config_scalars(cfg, label);
+    // Default token-method evaluation is two-shot; the instruct method
+    // generates up to 48 tokens after the prompt.
+    let expected_vocab = cfg.vocab_size.max(vocab_floor() + ensured_piece_count());
+    let probe = ModelConfig::tier(Tier::S8b, expected_vocab);
+    check_eval_window(
+        &mut config_diagnostics,
+        &format!("{label}/token-method"),
+        2,
+        cfg.seq,
+        probe.max_seq,
+    );
+    if 48 + 8 > probe.max_seq {
+        config_diagnostics.push(Diagnostic::error(
+            "preflight.eval.gen-budget",
+            &format!("{label}/instruct-method"),
+            format!(
+                "generation budget 48 + prompt margin 8 exceeds max_seq {}",
+                probe.max_seq
+            ),
+        ));
+    }
+
+    let step_tokens = (cfg.batch * cfg.seq * cfg.devices) as u64;
+    let mut checks = Vec::new();
+
+    // The eight models of Table I: per-model graph + budget, with FLOPs
+    // covering every training phase that model goes through.
+    for id in ModelId::all() {
+        let tier = id.tier();
+        let mcfg = ModelConfig::tier(tier, expected_vocab);
+        let mut tokens = cfg.native_tokens(tier_idx(tier));
+        if id.recipe().is_some() {
+            tokens += cfg.cpt_tokens();
+        }
+        if id.has_instruct() {
+            tokens += cfg.sft_steps * step_tokens;
+        }
+        checks.push(preflight_model(
+            &mcfg,
+            cfg.batch,
+            cfg.seq,
+            expected_vocab,
+            cfg.devices,
+            tokens,
+            id.name(),
+        ));
+    }
+
+    // A1 — data-quality channels: four CPT runs on the 8B-class config.
+    for channel in ["clean", "latex-artifacts", "heavy-ocr", "heavy-ocr+nougat"] {
+        let mcfg = ModelConfig::tier(Tier::S8b, expected_vocab);
+        checks.push(preflight_model(
+            &mcfg,
+            cfg.batch,
+            cfg.seq,
+            expected_vocab,
+            cfg.devices,
+            cfg.cpt_tokens(),
+            &format!("A1/{channel}"),
+        ));
+    }
+
+    // A2 — SFT mixtures: the mixture sizes must stay positive after the
+    // integer splits `ablation_sft_mixture` performs.
+    let total = astro_world::SftMixtureConfig::paper_mixture(cfg.sft_scale).total();
+    for (name, frac, size) in [
+        ("astro-0", 0.0f64, total),
+        ("astro-33", 1.0 / 3.0, total),
+        ("astro-100", 1.0, total),
+        ("astro-33-small", 1.0 / 3.0, (total / 10).max(4)),
+    ] {
+        let subject = format!("A2/{name}");
+        let mcfg = ModelConfig::tier(Tier::S8b, expected_vocab);
+        let mut check = preflight_model(
+            &mcfg,
+            cfg.batch,
+            cfg.seq,
+            expected_vocab,
+            cfg.devices,
+            cfg.sft_steps * step_tokens,
+            &subject,
+        );
+        if size == 0 || (frac > 0.0 && ((size as f64) * frac).round() as usize == 0) {
+            check.diagnostics.push(Diagnostic::error(
+                "preflight.sft.mixture",
+                &subject,
+                format!("mixture of {size} conversations at astro fraction {frac:.2} is empty"),
+            ));
+        }
+        checks.push(check);
+    }
+
+    // A3 — capacity sweep: native + CPT per tier.
+    for tier in [Tier::S7b, Tier::S8b, Tier::S70b] {
+        let mcfg = ModelConfig::tier(tier, expected_vocab);
+        checks.push(preflight_model(
+            &mcfg,
+            cfg.batch,
+            cfg.seq,
+            expected_vocab,
+            cfg.devices,
+            cfg.native_tokens(tier_idx(tier)) + cfg.cpt_tokens(),
+            &format!("A3/{}", tier.label()),
+        ));
+    }
+
+    // A4 — eval-method options on the 8B-class native: each setting's
+    // prompt must fit the context window.
+    for (name, shots) in [
+        ("two-shot+variants", 2usize),
+        ("two-shot-no-variants", 2),
+        ("zero-shot+variants", 0),
+        ("zero-shot-no-variants", 0),
+        ("two-shot-letter", 2),
+    ] {
+        let subject = format!("A4/{name}");
+        let mcfg = ModelConfig::tier(Tier::S8b, expected_vocab);
+        let mut check = preflight_model(
+            &mcfg,
+            1,
+            cfg.seq.min(mcfg.max_seq),
+            expected_vocab,
+            1,
+            (cfg.n_eval_questions * EST_TOKENS_PER_QUESTION) as u64,
+            &subject,
+        );
+        check_eval_window(&mut check.diagnostics, &subject, shots, cfg.seq, mcfg.max_seq);
+        checks.push(check);
+    }
+
+    PreflightReport {
+        label: label.to_string(),
+        config_diagnostics,
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_pass() {
+        for (label, cfg) in [
+            ("smoke", StudyConfig::smoke(1)),
+            ("fast", StudyConfig::fast(1)),
+            ("full", StudyConfig::full(1)),
+        ] {
+            let report = preflight_study(&cfg, label);
+            assert!(
+                report.ok(),
+                "{label}: {:?}",
+                report
+                    .all_diagnostics()
+                    .iter()
+                    .filter(|d| d.severity == Severity::Error)
+                    .map(|d| d.render())
+                    .collect::<Vec<_>>()
+            );
+            // 8 zoo + 4 A1 + 4 A2 + 3 A3 + 5 A4.
+            assert_eq!(report.checks.len(), 24, "{label}");
+        }
+    }
+
+    #[test]
+    fn zero_steps_rejected() {
+        let mut cfg = StudyConfig::smoke(1);
+        cfg.cpt_steps = 0;
+        let report = preflight_study(&cfg, "corrupt");
+        assert!(!report.ok());
+        assert!(report
+            .config_diagnostics
+            .iter()
+            .any(|d| d.rule == "preflight.steps" && d.subject.contains("cpt_steps")));
+    }
+
+    #[test]
+    fn vocab_below_floor_rejected() {
+        let mut cfg = StudyConfig::smoke(1);
+        cfg.vocab_size = 100;
+        let report = preflight_study(&cfg, "corrupt");
+        assert!(report
+            .config_diagnostics
+            .iter()
+            .any(|d| d.rule == "preflight.vocab.floor" && d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn bad_lr_and_fraction_rejected() {
+        let mut cfg = StudyConfig::smoke(1);
+        cfg.cpt_lr = f32::NAN;
+        cfg.sft_json_fraction = 1.5;
+        let report = preflight_study(&cfg, "corrupt");
+        let rules: Vec<&str> = report
+            .config_diagnostics
+            .iter()
+            .map(|d| d.rule.as_str())
+            .collect();
+        assert!(rules.contains(&"preflight.lr"));
+        assert!(rules.contains(&"preflight.sft.fraction"));
+    }
+
+    #[test]
+    fn corrupt_model_config_rejected_with_pointed_diagnostic() {
+        // Wrong head-dim divisibility.
+        let mut mcfg = ModelConfig::tier(Tier::S8b, 512);
+        mcfg.n_heads = 5; // 96 % 5 != 0
+        let check = preflight_model(&mcfg, 4, 64, 512, 1, 1000, "corrupt/heads");
+        assert!(!check.ok());
+        assert!(check
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == "shape.heads.divisibility" && d.message.contains('5')));
+        // Vocab mismatch between tokenizer and embedding rows.
+        let mcfg2 = ModelConfig::tier(Tier::S8b, 300);
+        let check2 = preflight_model(&mcfg2, 4, 64, 512, 1, 1000, "corrupt/vocab");
+        assert!(!check2.ok());
+        assert!(check2.diagnostics.iter().any(|d| d.rule == "shape.embed.rows"));
+    }
+
+    #[test]
+    fn budgets_are_populated() {
+        let report = preflight_study(&StudyConfig::fast(0), "fast");
+        for check in &report.checks {
+            assert!(check.params > 0, "{}", check.subject);
+            assert!(check.est_bytes > 0, "{}", check.subject);
+            assert!(check.est_flops > 0.0, "{}", check.subject);
+            assert!(check.est_bytes < MEMORY_BUDGET_BYTES, "{}", check.subject);
+        }
+    }
+
+    #[test]
+    fn vocab_floor_matches_tokenizer_layout() {
+        assert_eq!(vocab_floor(), 256 + astro_tokenizer::SPECIALS.len());
+        assert!(ensured_piece_count() >= 4);
+    }
+}

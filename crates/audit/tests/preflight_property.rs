@@ -1,0 +1,120 @@
+//! Property test: the static preflight and the runtime shape asserts
+//! agree.
+//!
+//! Using the in-repo PRNG, generate random model/run configurations.
+//! Whatever `preflight_model` accepts must run a real forward pass through
+//! `astro_model::TrainContext` without tripping any runtime assert; a
+//! corrupted variant of the same configuration (non-dividing head count,
+//! odd head dim, tokenizer/embedding vocab mismatch, over-long sequence)
+//! must be rejected statically with an error diagnostic.
+
+use astro_audit::preflight::preflight_model;
+use astro_model::{ModelConfig, Params, TrainContext};
+use astro_prng::Rng;
+
+/// Draw a small random configuration. Dims are kept tiny so the accepted
+/// cases can afford a real forward pass each.
+fn random_config(rng: &mut Rng) -> (ModelConfig, usize, usize) {
+    let n_heads = 1 + rng.index(3); // 1..=3
+    let head_dim = 2 * (1 + rng.index(4)); // even: 2,4,6,8
+    let d_model = n_heads * head_dim;
+    let cfg = ModelConfig {
+        vocab_size: 280 + rng.index(64),
+        d_model,
+        n_layers: 1 + rng.index(2),
+        n_heads,
+        d_ff: d_model + rng.index(2 * d_model + 1),
+        max_seq: 16 + rng.index(17), // 16..=32
+    };
+    let batch = 1 + rng.index(2);
+    let seq = 4 + rng.index(cfg.max_seq - 4); // 4..max_seq
+    (cfg, batch, seq)
+}
+
+#[test]
+fn accepted_configs_never_trip_runtime_asserts() {
+    let mut rng = Rng::seed_from(0x5eed_a0d1);
+    let mut accepted = 0;
+    for _ in 0..25 {
+        let (cfg, batch, seq) = random_config(&mut rng);
+        let report = preflight_model(
+            &cfg,
+            batch,
+            seq,
+            cfg.vocab_size, // consistent tokenizer
+            1,
+            1_000,
+            "prop",
+        );
+        if !report.ok() {
+            continue; // rejected: nothing to cross-check here
+        }
+        accepted += 1;
+        // The static pass accepted it: the runtime graph must accept it
+        // too. Any shape assert in astro_tensor/astro_model fails the
+        // test by panicking.
+        let mut init_rng = rng.substream("init");
+        let params = Params::init(cfg, &mut init_rng);
+        let mut ctx = TrainContext::new(cfg, batch, seq);
+        let tokens: Vec<u32> =
+            (0..batch * seq).map(|_| rng.index(cfg.vocab_size) as u32).collect();
+        let targets: Vec<usize> = (0..batch * seq).map(|_| rng.index(cfg.vocab_size)).collect();
+        let mask = vec![true; batch * seq];
+        let loss = ctx.loss(&params, &tokens, &targets, &mask);
+        assert!(loss.is_finite(), "accepted config produced non-finite loss: {cfg:?}");
+    }
+    assert!(accepted >= 10, "only {accepted}/25 random configs accepted; generator too strict");
+}
+
+#[test]
+fn corrupted_configs_are_rejected() {
+    let mut rng = Rng::seed_from(0xbad_c0de);
+    let mut rejected = [0usize; 4];
+    for round in 0..40 {
+        let (cfg, batch, seq) = random_config(&mut rng);
+        let base = preflight_model(&cfg, batch, seq, cfg.vocab_size, 1, 1_000, "prop");
+        if !base.ok() {
+            continue;
+        }
+        let kind = round % 4;
+        let (mutated, tokenizer_vocab, run_seq, expect_rule) = match kind {
+            // Head count that does not divide d_model (d_model is a
+            // multiple of n_heads*2; n_heads = d_model+1 never divides
+            // a positive d_model except d_model=1, excluded by evenness).
+            0 => (
+                ModelConfig { n_heads: cfg.d_model + 1, ..cfg },
+                cfg.vocab_size,
+                seq,
+                "shape.heads.divisibility",
+            ),
+            // Odd head dim: 1 head over an odd d_model breaks RoPE.
+            1 => (
+                ModelConfig { d_model: cfg.d_model + 1, n_heads: 1, ..cfg },
+                cfg.vocab_size,
+                seq,
+                "shape.rope.head-dim",
+            ),
+            // Tokenizer knows more ids than the embedding has rows.
+            2 => (cfg, cfg.vocab_size + 17, seq, "shape.embed.rows"),
+            // Sequence longer than the RoPE table.
+            _ => (cfg, cfg.vocab_size, cfg.max_seq + 1, "shape.seq.max"),
+        };
+        let report =
+            preflight_model(&mutated, batch, run_seq, tokenizer_vocab, 1, 1_000, "prop-bad");
+        assert!(
+            !report.ok(),
+            "corruption kind {kind} not rejected: cfg {mutated:?} tokenizer {tokenizer_vocab} \
+             seq {run_seq}"
+        );
+        assert!(
+            report.diagnostics.iter().any(|d| d.rule == expect_rule),
+            "corruption kind {kind}: expected rule {expect_rule}, got {:?}",
+            report.diagnostics.iter().map(|d| d.rule.clone()).collect::<Vec<_>>()
+        );
+        rejected[kind] += 1;
+    }
+    assert!(
+        rejected.iter().all(|&n| n > 0),
+        "every corruption kind must be exercised at least once: {rejected:?}"
+    );
+}

@@ -28,7 +28,7 @@ fn parse_preset(binary: &str) -> (String, StudyConfig) {
         "fast" => StudyConfig::fast(seed),
         "full" => StudyConfig::full(seed),
         other => {
-            eprintln!("{binary}: unknown preset {other:?}; use smoke|fast|full");
+            astro_telemetry::info!("{binary}: unknown preset {other:?}; use smoke|fast|full");
             std::process::exit(2);
         }
     };
@@ -47,6 +47,23 @@ pub struct BenchRun {
 pub fn instrumented_run(binary: &str) -> (StudyConfig, BenchRun) {
     astro_telemetry::init_clock();
     let (preset, config) = parse_preset(binary);
+    // Static preflight: shape/dtype/budget-check the whole study grid for
+    // this preset and refuse to start on any error — the same pass CI runs
+    // via `astro-audit preflight --all-presets`.
+    let preflight = astro_audit::preflight_study(&config, &preset);
+    for d in preflight.all_diagnostics() {
+        match d.severity {
+            astro_audit::Severity::Error => astro_telemetry::info!("{binary}: {}", d.render()),
+            astro_audit::Severity::Warning => astro_telemetry::debug!("{binary}: {}", d.render()),
+        }
+    }
+    if preflight.errors() > 0 {
+        astro_telemetry::info!(
+            "{binary}: preflight rejected preset {preset:?} with {} errors; aborting",
+            preflight.errors()
+        );
+        std::process::exit(1);
+    }
     if let Err(e) = astro_telemetry::sink::init_file(Path::new("telemetry.jsonl")) {
         astro_telemetry::info!("{binary}: telemetry.jsonl unavailable ({e}); events dropped");
     }
@@ -78,9 +95,10 @@ impl BenchRun {
             .f64_field("wall_secs", self.manifest.wall_secs)
             .u64_field("peak_rss_kb", self.manifest.peak_rss_kb)
             .emit();
-        astro_telemetry::sink::flush();
-        print!("{}", astro_telemetry::summary::render());
-        println!(
+        for line in astro_telemetry::summary::render().lines() {
+            astro_telemetry::info!("{line}");
+        }
+        astro_telemetry::info!(
             "manifest: preset={} seed={} config={} wall={:.1}s peak_rss={}MB \
              (telemetry.jsonl, run_manifest.json)",
             self.manifest.preset,
@@ -89,6 +107,7 @@ impl BenchRun {
             self.manifest.wall_secs,
             self.manifest.peak_rss_kb / 1024
         );
+        astro_telemetry::sink::flush();
     }
 }
 
@@ -100,6 +119,7 @@ pub struct JsonObject {
 }
 
 impl JsonObject {
+    /// Start an empty object.
     pub fn new() -> JsonObject {
         JsonObject { out: String::from("{") }
     }
@@ -112,12 +132,14 @@ impl JsonObject {
         self.out.push(':');
     }
 
+    /// Add a string field.
     pub fn str(&mut self, k: &str, v: &str) -> &mut Self {
         self.key(k);
         astro_telemetry::event::write_json_string(&mut self.out, v);
         self
     }
 
+    /// Add a numeric field (non-finite values become `null`).
     pub fn num(&mut self, k: &str, v: f64) -> &mut Self {
         self.key(k);
         if v.is_finite() {
@@ -135,6 +157,7 @@ impl JsonObject {
         self
     }
 
+    /// Close the object and return the serialised JSON.
     pub fn finish(mut self) -> String {
         self.out.push('}');
         self.out

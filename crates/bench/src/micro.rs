@@ -31,12 +31,13 @@ pub struct Micro {
 }
 
 impl Micro {
+    /// Start a bench group; `ASTRO_BENCH_MS` overrides the 2s budget.
     pub fn new(group: &str) -> Micro {
         let ms = std::env::var("ASTRO_BENCH_MS")
             .ok()
             .and_then(|s| s.parse().ok())
             .unwrap_or(2000u64);
-        println!("group {group} (budget {ms}ms per bench)");
+        astro_telemetry::info!("group {group} (budget {ms}ms per bench)");
         Micro {
             group: group.to_string(),
             budget: Duration::from_millis(ms),
@@ -95,7 +96,7 @@ impl Micro {
             let rate = n as f64 / median.as_secs_f64().max(1e-12);
             line.push_str(&format!("  {} {unit}", fmt_rate(rate)));
         }
-        println!("{line}");
+        astro_telemetry::info!("{line}");
         median
     }
 }

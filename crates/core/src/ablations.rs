@@ -34,6 +34,7 @@ pub struct AblationPoint {
 /// A text-corruption channel applied to CPT documents.
 type NoiseChannel = Box<dyn Fn(&str, &mut Rng) -> String>;
 
+/// A1: CPT on progressively noisier corpora (Table 3's data-quality axis).
 pub fn ablation_data_quality(study: &Study) -> Vec<AblationPoint> {
     let (native, _) = study.pretrain_native(Tier::S8b);
     let channels: [(&str, NoiseChannel); 4] = [

@@ -133,6 +133,56 @@ impl StudyConfig {
         }
     }
 
+    /// Cheap structural validation, run by [`crate::Study::prepare`]
+    /// before any compute is spent. The static preflight in `astro-audit`
+    /// mirrors these rules (ids `preflight.*`) plus the full shape/dtype
+    /// graph checks; this in-process copy catches hand-built configs that
+    /// never went through the audit binary.
+    pub fn validate(&self) -> Result<(), String> {
+        let floor = 256 + astro_tokenizer::SPECIALS.len();
+        if self.vocab_size < floor {
+            return Err(format!(
+                "vocab_size {} is below the structural floor {floor} \
+                 (256 byte tokens + {} specials)",
+                self.vocab_size,
+                astro_tokenizer::SPECIALS.len()
+            ));
+        }
+        if self.batch == 0 || self.seq == 0 || self.devices == 0 {
+            return Err(format!(
+                "batch {}, seq {} and devices {} must all be nonzero",
+                self.batch, self.seq, self.devices
+            ));
+        }
+        if self.native_steps.contains(&0) || self.cpt_steps == 0 || self.sft_steps == 0
+        {
+            return Err(format!(
+                "step counts must be nonzero: native {:?}, cpt {}, sft {}",
+                self.native_steps, self.cpt_steps, self.sft_steps
+            ));
+        }
+        for (name, lr) in
+            [("native_lr", self.native_lr), ("cpt_lr", self.cpt_lr), ("sft_lr", self.sft_lr)]
+        {
+            if !(lr > 0.0 && lr.is_finite()) {
+                return Err(format!("{name} must be positive and finite, got {lr}"));
+            }
+        }
+        if !(0.0..=1.0).contains(&self.sft_json_fraction) {
+            return Err(format!(
+                "sft_json_fraction {} outside [0, 1]",
+                self.sft_json_fraction
+            ));
+        }
+        if !(self.sft_scale > 0.0 && self.sft_scale.is_finite()) {
+            return Err(format!("sft_scale must be positive and finite, got {}", self.sft_scale));
+        }
+        if self.n_eval_questions == 0 {
+            return Err("n_eval_questions must be nonzero".to_string());
+        }
+        Ok(())
+    }
+
     /// Tokens one native pretraining run processes for tier index `i`.
     pub fn native_tokens(&self, tier_idx: usize) -> u64 {
         self.native_steps[tier_idx] * (self.batch * self.seq * self.devices) as u64

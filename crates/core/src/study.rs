@@ -91,6 +91,8 @@ impl Study {
     /// pack every corpus.
     pub fn prepare(config: StudyConfig) -> Study {
         let _span = astro_telemetry::span!("study.prepare", seed = config.seed);
+        let valid = config.validate();
+        assert!(valid.is_ok(), "invalid StudyConfig: {}", valid.unwrap_err());
         astro_telemetry::info!(
             "prepare: world + tokenizer + benchmark (seed {})",
             config.seed

@@ -119,7 +119,7 @@ fn interpret(text: &str, options: &[String; 4]) -> Option<usize> {
             scores[i] += text.matches(&pat).count();
         }
     }
-    let best = *scores.iter().max().expect("four scores");
+    let best = scores.iter().copied().max().unwrap_or(0);
     if best == 0 {
         return None;
     }

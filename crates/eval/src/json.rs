@@ -9,6 +9,32 @@
 
 use std::collections::BTreeMap;
 
+/// A typed parse failure: what went wrong and the byte offset where the
+/// parser gave up. Replaces the old stringly-typed `Result<_, String>` so
+/// the extraction cascade (and tests) can match on structure instead of
+/// substrings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input where parsing failed.
+    pub at: usize,
+    /// What the parser expected or found, e.g. `expected ':'`.
+    pub message: String,
+}
+
+impl JsonError {
+    fn new(at: usize, message: impl Into<String>) -> JsonError {
+        JsonError { at, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.at)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
 /// A parsed JSON value (subset: no unicode escapes beyond `\u` passthrough).
 #[derive(Clone, Debug, PartialEq)]
 pub enum Json {
@@ -28,13 +54,13 @@ pub enum Json {
 
 impl Json {
     /// Parse a complete JSON document.
-    pub fn parse(input: &str) -> Result<Json, String> {
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
         let bytes = input.as_bytes();
         let mut pos = 0;
         let v = parse_value(bytes, &mut pos)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
-            return Err(format!("trailing characters at byte {pos}"));
+            return Err(JsonError::new(pos, "trailing characters"));
         }
         Ok(v)
     }
@@ -89,10 +115,10 @@ fn skip_ws(b: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     skip_ws(b, pos);
     if *pos >= b.len() {
-        return Err("unexpected end of input".to_string());
+        return Err(JsonError::new(*pos, "unexpected end of input"));
     }
     match b[*pos] {
         b'{' => parse_object(b, pos),
@@ -102,20 +128,20 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
         b'f' => parse_lit(b, pos, "false", Json::Bool(false)),
         b'n' => parse_lit(b, pos, "null", Json::Null),
         b'-' | b'0'..=b'9' => parse_number(b, pos),
-        c => Err(format!("unexpected byte {:?} at {}", c as char, *pos)),
+        c => Err(JsonError::new(*pos, format!("unexpected byte {:?}", c as char))),
     }
 }
 
-fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, JsonError> {
     if b[*pos..].starts_with(lit.as_bytes()) {
         *pos += lit.len();
         Ok(v)
     } else {
-        Err(format!("invalid literal at {}", *pos))
+        Err(JsonError::new(*pos, format!("invalid literal, expected {lit:?}")))
     }
 }
 
-fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     *pos += 1; // consume {
     let mut map = BTreeMap::new();
     skip_ws(b, pos);
@@ -126,12 +152,12 @@ fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     loop {
         skip_ws(b, pos);
         if *pos >= b.len() || b[*pos] != b'"' {
-            return Err(format!("expected string key at {}", *pos));
+            return Err(JsonError::new(*pos, "expected string key"));
         }
         let key = parse_string(b, pos)?;
         skip_ws(b, pos);
         if *pos >= b.len() || b[*pos] != b':' {
-            return Err(format!("expected ':' at {}", *pos));
+            return Err(JsonError::new(*pos, "expected ':'"));
         }
         *pos += 1;
         let value = parse_value(b, pos)?;
@@ -143,12 +169,12 @@ fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
                 *pos += 1;
                 return Ok(Json::Object(map));
             }
-            _ => return Err(format!("expected ',' or '}}' at {}", *pos)),
+            _ => return Err(JsonError::new(*pos, "expected ',' or '}'")),
         }
     }
 }
 
-fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     *pos += 1; // consume [
     let mut items = Vec::new();
     skip_ws(b, pos);
@@ -165,12 +191,12 @@ fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
                 *pos += 1;
                 return Ok(Json::Array(items));
             }
-            _ => return Err(format!("expected ',' or ']' at {}", *pos)),
+            _ => return Err(JsonError::new(*pos, "expected ',' or ']'")),
         }
     }
 }
 
-fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, JsonError> {
     *pos += 1; // consume opening quote
     let mut out = String::new();
     while *pos < b.len() {
@@ -186,7 +212,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b't') => out.push('\t'),
                     Some(b'r') => out.push('\r'),
                     Some(&c @ (b'"' | b'\\' | b'/')) => out.push(c as char),
-                    Some(_) | None => return Err(format!("bad escape at {}", *pos)),
+                    Some(_) | None => return Err(JsonError::new(*pos, "bad escape")),
                 }
                 *pos += 1;
             }
@@ -195,16 +221,16 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                 let s = &b[*pos..];
                 let len = utf8_len(s[0]);
                 if s.len() < len {
-                    return Err("truncated UTF-8".to_string());
+                    return Err(JsonError::new(*pos, "truncated UTF-8"));
                 }
-                out.push_str(
-                    std::str::from_utf8(&s[..len]).map_err(|e| format!("bad UTF-8: {e}"))?,
-                );
+                let scalar = std::str::from_utf8(&s[..len])
+                    .map_err(|e| JsonError::new(*pos, format!("bad UTF-8: {e}")))?;
+                out.push_str(scalar);
                 *pos += len;
             }
         }
     }
-    Err("unterminated string".to_string())
+    Err(JsonError::new(*pos, "unterminated string"))
 }
 
 fn utf8_len(first: u8) -> usize {
@@ -216,7 +242,7 @@ fn utf8_len(first: u8) -> usize {
     }
 }
 
-fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     let start = *pos;
     if b[*pos] == b'-' {
         *pos += 1;
@@ -224,10 +250,13 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
         *pos += 1;
     }
-    let s = std::str::from_utf8(&b[start..*pos]).expect("digits are ASCII");
+    // The scanned range is ASCII digits/sign/exponent bytes by
+    // construction, but keep the conversion fallible anyway.
+    let s = std::str::from_utf8(&b[start..*pos])
+        .map_err(|e| JsonError::new(start, format!("non-ASCII number: {e}")))?;
     s.parse::<f64>()
         .map(Json::Number)
-        .map_err(|e| format!("bad number {s:?}: {e}"))
+        .map_err(|e| JsonError::new(start, format!("bad number {s:?}: {e}")))
 }
 
 #[cfg(test)]

@@ -39,3 +39,21 @@ pub struct EvalModel<'a> {
     /// The tokenizer (shared across the whole study).
     pub tokenizer: &'a astro_tokenizer::Tokenizer,
 }
+
+impl EvalModel<'_> {
+    /// Check that the tokenizer and the embedding table agree: every
+    /// token id the tokenizer can emit must index a row of the embedding.
+    /// [`evaluate`] asserts this before scoring; `astro-audit preflight`
+    /// enforces the same rule statically (`shape.embed.rows`).
+    pub fn validate(&self) -> Result<(), String> {
+        let rows = self.params.cfg.vocab_size;
+        let vocab = self.tokenizer.vocab_size();
+        if vocab > rows {
+            return Err(format!(
+                "tokenizer emits {vocab} token ids but the embedding has only {rows} rows; \
+                 ids {rows}..{vocab} would index out of bounds"
+            ));
+        }
+        Ok(())
+    }
+}

@@ -143,7 +143,7 @@ pub fn bootstrap_ci(
             100.0 * hits as f64 / n as f64
         })
         .collect();
-    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    stats.sort_by(f64::total_cmp);
     let alpha = (1.0 - confidence) / 2.0;
     let lo_idx = ((stats.len() as f64) * alpha).floor() as usize;
     let hi_idx = (((stats.len() as f64) * (1.0 - alpha)).ceil() as usize)
@@ -172,6 +172,8 @@ pub fn evaluate(
     rng: &mut Rng,
 ) -> Score {
     let span = astro_telemetry::span!("eval", method = method.key());
+    let consistent = model.validate();
+    assert!(consistent.is_ok(), "inconsistent EvalModel: {}", consistent.unwrap_err());
     let score = match method {
         Method::TokenBase | Method::TokenInstruct => {
             let preds = token_method(model, questions, exemplars, token_cfg);

@@ -42,6 +42,7 @@ impl Mailbox {
     }
 
     fn put(&self, v: Vec<f32>) {
+        let _order = astro_telemetry::lockcheck::acquire("parallel.device.mailbox");
         let mut slot = self.slot.lock().expect("mailbox poisoned");
         while slot.is_some() {
             slot = self.taken.wait(slot).expect("mailbox poisoned");
@@ -51,6 +52,7 @@ impl Mailbox {
     }
 
     fn take(&self) -> Vec<f32> {
+        let _order = astro_telemetry::lockcheck::acquire("parallel.device.mailbox");
         let mut slot = self.slot.lock().expect("mailbox poisoned");
         while slot.is_none() {
             slot = self.ready.wait(slot).expect("mailbox poisoned");

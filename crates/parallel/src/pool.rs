@@ -50,11 +50,16 @@ impl ThreadPool {
                     .spawn(move || loop {
                         // Hold the lock only while receiving, not while
                         // running the job, so workers execute concurrently.
-                        let job = match rx.lock().expect("pool receiver poisoned").recv() {
-                            Ok(job) => job,
-                            Err(_) => break, // channel disconnected
+                        let job = {
+                            let _order =
+                                astro_telemetry::lockcheck::acquire("parallel.pool.receiver");
+                            match rx.lock().expect("pool receiver poisoned").recv() {
+                                Ok(job) => job,
+                                Err(_) => break, // channel disconnected
+                            }
                         };
                         job();
+                        let _order = astro_telemetry::lockcheck::acquire("parallel.pool.pending");
                         let mut pending = shared.pending.lock().expect("pending poisoned");
                         *pending -= 1;
                         shared.depth_gauge.set(*pending as i64);
@@ -79,6 +84,7 @@ impl ThreadPool {
 
     /// Jobs submitted but not yet completed.
     pub fn queue_depth(&self) -> usize {
+        let _order = astro_telemetry::lockcheck::acquire("parallel.pool.pending");
         *self.shared.pending.lock().expect("pending poisoned")
     }
 
@@ -88,6 +94,7 @@ impl ThreadPool {
         F: FnOnce() + Send + 'static,
     {
         {
+            let _order = astro_telemetry::lockcheck::acquire("parallel.pool.pending");
             let mut pending = self.shared.pending.lock().expect("pending poisoned");
             *pending += 1;
             self.shared.depth_gauge.set(*pending as i64);
@@ -101,6 +108,7 @@ impl ThreadPool {
 
     /// Block until every submitted job has completed.
     pub fn join(&self) {
+        let _order = astro_telemetry::lockcheck::acquire("parallel.pool.pending");
         let mut pending = self.shared.pending.lock().expect("pending poisoned");
         while *pending > 0 {
             pending = self.shared.quiescent.wait(pending).expect("pending poisoned");

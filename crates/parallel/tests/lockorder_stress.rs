@@ -1,0 +1,74 @@
+//! Stress test for the debug-build lock-order instrumentation.
+//!
+//! Hammers the thread pool with jobs that touch every ranked lock in the
+//! hierarchy (pool pending counter, telemetry metrics/span registries,
+//! telemetry sink) from many threads at once. Under `cfg(debug_assertions)`
+//! each acquisition is checked against the thread-local held stack, so any
+//! rank inversion introduced in `crates/parallel` or `crates/telemetry`
+//! panics here instead of deadlocking in a long training run.
+
+use astro_parallel::pool::ThreadPool;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn pool_and_telemetry_respect_lock_order() {
+    astro_telemetry::sink::init_memory();
+    let pool = ThreadPool::new(4);
+    let done = Arc::new(AtomicUsize::new(0));
+    for i in 0..200usize {
+        let done = Arc::clone(&done);
+        pool.execute(move || {
+            // Spans nest registry (rank 22) inside nothing, then emit to the
+            // sink (rank 30) from the guard's Drop — strictly increasing.
+            let g = astro_telemetry::span!("stress.job", idx = i);
+            g.record_f64("work", i as f64);
+            // Metrics registry (rank 20) while the span is open but its
+            // registry lock is released — no nesting across ranks 20/22.
+            astro_telemetry::counter("stress.jobs").inc();
+            astro_telemetry::gauge("stress.last").set(i as i64);
+            drop(g);
+            astro_telemetry::Event::new("stress_tick").u64_field("idx", i as u64).emit();
+            done.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    // `join` holds the pending lock (rank 12) across a condvar wait while
+    // workers reacquire it to decrement — same lock, no ordering edge.
+    pool.join();
+    assert_eq!(done.load(Ordering::Relaxed), 200);
+    // Every token must have been released: nothing is held after quiescence.
+    assert_eq!(astro_telemetry::lockcheck::held_count(), 0);
+    let lines = astro_telemetry::sink::drain_memory();
+    assert!(lines.len() >= 200, "expected >=200 sink lines, got {}", lines.len());
+    astro_telemetry::sink::close();
+}
+
+/// Nested pool use: jobs that submit further jobs exercise the
+/// receiver (rank 10) → pending (rank 12) edge from inside a worker.
+#[test]
+fn nested_submission_respects_lock_order() {
+    let pool = Arc::new(ThreadPool::new(2));
+    let done = Arc::new(AtomicUsize::new(0));
+    for _ in 0..20usize {
+        let done = Arc::clone(&done);
+        let inner = Arc::clone(&pool);
+        pool.execute(move || {
+            let done2 = Arc::clone(&done);
+            inner.execute(move || {
+                done2.fetch_add(1, Ordering::Relaxed);
+            });
+            done.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    // Poll rather than join: join only waits for currently-pending jobs,
+    // and nested submissions race with the outer count reaching zero.
+    for _ in 0..2000 {
+        if done.load(Ordering::Relaxed) == 40 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    pool.join();
+    assert_eq!(done.load(Ordering::Relaxed), 40);
+    assert_eq!(astro_telemetry::lockcheck::held_count(), 0);
+}

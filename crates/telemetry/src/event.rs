@@ -43,30 +43,35 @@ impl Event {
     }
 
     /// Attach a string field.
+    #[must_use]
     pub fn str_field(mut self, key: &str, v: &str) -> Self {
         self.fields.push((key.to_string(), Value::Str(v.to_string())));
         self
     }
 
     /// Attach a float field.
+    #[must_use]
     pub fn f64_field(mut self, key: &str, v: f64) -> Self {
         self.fields.push((key.to_string(), Value::F64(v)));
         self
     }
 
     /// Attach an unsigned integer field.
+    #[must_use]
     pub fn u64_field(mut self, key: &str, v: u64) -> Self {
         self.fields.push((key.to_string(), Value::U64(v)));
         self
     }
 
     /// Attach a signed integer field.
+    #[must_use]
     pub fn i64_field(mut self, key: &str, v: i64) -> Self {
         self.fields.push((key.to_string(), Value::I64(v)));
         self
     }
 
     /// Attach a boolean field.
+    #[must_use]
     pub fn bool_field(mut self, key: &str, v: bool) -> Self {
         self.fields.push((key.to_string(), Value::Bool(v)));
         self

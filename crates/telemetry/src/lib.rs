@@ -21,6 +21,9 @@
 //!   stderr progress output (default `info`), so `cargo test -q` stays
 //!   clean while bench binaries stay chatty.
 //! * [`summary`] — a human-readable end-of-run span/metric summary tree.
+//! * [`lockcheck`] — debug-build **lock-order instrumentation**: ranked
+//!   locks and a thread-local held-lock stack that panics on ordering
+//!   violations, cross-checked statically by `astro-audit locks`.
 //!
 //! Everything is `std`-only, matching the repo's no-`serde`/no-`tracing`
 //! design rule, and every emitter is a cheap no-op until a sink is
@@ -35,6 +38,7 @@
 //! of the sink unless they install a memory sink themselves.
 
 pub mod event;
+pub mod lockcheck;
 pub mod log;
 pub mod manifest;
 pub mod metrics;

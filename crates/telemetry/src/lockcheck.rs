@@ -1,0 +1,190 @@
+//! Debug-build lock-order instrumentation.
+//!
+//! Every long-lived lock in the workspace has a declared **rank** in
+//! [`RANKS`]; a thread may only acquire a lock whose rank is *strictly
+//! greater* than the highest rank it already holds. Acquisitions in
+//! increasing rank order cannot form a wait cycle, so adherence rules out
+//! lock-order deadlocks by construction (the classic lock-hierarchy
+//! argument).
+//!
+//! Call [`acquire`] immediately before taking a ranked lock and keep the
+//! returned [`LockToken`] alive for the critical section; dropping it
+//! records the release. Under `cfg(debug_assertions)` a violation panics
+//! with both lock names; in release builds the whole machinery compiles
+//! to nothing.
+//!
+//! The same table is consumed statically: `astro-audit locks` extracts
+//! the acquisition graph from source and verifies the declared ranks are
+//! acyclic and every `.lock()` site is annotated.
+
+/// One declared lock with its rank.
+#[derive(Clone, Copy, Debug)]
+pub struct LockRank {
+    /// Stable name used at acquisition sites and in audit reports.
+    pub name: &'static str,
+    /// Position in the global order (higher = acquired later).
+    pub rank: u32,
+}
+
+/// The global lock hierarchy. Pool internals come first (they sit at the
+/// bottom of every call stack), device mailboxes next, telemetry
+/// registries and the JSONL sink last — so code holding a pool lock may
+/// still emit telemetry, but telemetry internals can never wait on the
+/// pool.
+pub const RANKS: &[LockRank] = &[
+    LockRank { name: "parallel.pool.receiver", rank: 10 },
+    LockRank { name: "parallel.pool.pending", rank: 12 },
+    LockRank { name: "parallel.device.mailbox", rank: 14 },
+    LockRank { name: "telemetry.metrics.registry", rank: 20 },
+    LockRank { name: "telemetry.span.registry", rank: 22 },
+    LockRank { name: "telemetry.sink", rank: 30 },
+];
+
+/// Look up the declared rank of a lock name.
+pub fn rank_of(name: &str) -> Option<u32> {
+    RANKS.iter().find(|r| r.name == name).map(|r| r.rank)
+}
+
+#[cfg(debug_assertions)]
+mod imp {
+    use super::rank_of;
+    use std::cell::RefCell;
+
+    thread_local! {
+        /// The ranks (and names) of locks this thread currently holds,
+        /// in acquisition order.
+        static HELD: RefCell<Vec<(u32, &'static str)>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// RAII record of one ranked acquisition.
+    #[must_use = "hold the token for the critical section; dropping it records the release"]
+    pub struct LockToken {
+        name: &'static str,
+    }
+
+    /// Record an acquisition; panics on a rank-order violation.
+    pub fn acquire(name: &'static str) -> LockToken {
+        let rank = rank_of(name)
+            .unwrap_or_else(|| panic!("lockcheck: {name} has no declared rank in RANKS"));
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(&(top_rank, top_name)) = held.last() {
+                assert!(
+                    rank > top_rank,
+                    "lock-order violation: acquiring {name} (rank {rank}) while \
+                     holding {top_name} (rank {top_rank}); locks must be taken in \
+                     strictly increasing rank order"
+                );
+            }
+            held.push((rank, name));
+        });
+        LockToken { name }
+    }
+
+    impl Drop for LockToken {
+        fn drop(&mut self) {
+            HELD.with(|held| {
+                let mut held = held.borrow_mut();
+                // Release order may differ from acquisition order; remove
+                // the most recent entry for this lock.
+                if let Some(pos) = held.iter().rposition(|&(_, n)| n == self.name) {
+                    held.remove(pos);
+                }
+            });
+        }
+    }
+
+    /// How many ranked locks the current thread holds (test hook).
+    pub fn held_count() -> usize {
+        HELD.with(|held| held.borrow().len())
+    }
+}
+
+#[cfg(not(debug_assertions))]
+mod imp {
+    /// RAII record of one ranked acquisition (release build: a no-op).
+    #[must_use = "hold the token for the critical section; dropping it records the release"]
+    pub struct LockToken {
+        _private: (),
+    }
+
+    /// Record an acquisition (release build: a no-op).
+    #[inline(always)]
+    pub fn acquire(_name: &'static str) -> LockToken {
+        LockToken { _private: () }
+    }
+
+    /// How many ranked locks the current thread holds (release build:
+    /// always 0).
+    #[inline(always)]
+    pub fn held_count() -> usize {
+        0
+    }
+}
+
+pub use imp::{acquire, held_count, LockToken};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_are_strictly_increasing_and_unique() {
+        for w in RANKS.windows(2) {
+            assert!(w[0].rank < w[1].rank, "{} vs {}", w[0].name, w[1].name);
+        }
+        let names: std::collections::HashSet<&str> = RANKS.iter().map(|r| r.name).collect();
+        assert_eq!(names.len(), RANKS.len());
+    }
+
+    #[test]
+    fn increasing_order_is_accepted() {
+        let a = acquire("parallel.pool.receiver");
+        let b = acquire("telemetry.sink");
+        assert!(held_count() <= 2);
+        drop(b);
+        drop(a);
+        assert_eq!(held_count(), 0);
+    }
+
+    #[test]
+    fn same_rank_reacquire_allowed_after_release() {
+        for _ in 0..3 {
+            let t = acquire("parallel.device.mailbox");
+            drop(t);
+        }
+        assert_eq!(held_count(), 0);
+    }
+
+    #[test]
+    fn out_of_order_release_is_tolerated() {
+        let a = acquire("parallel.pool.pending");
+        let b = acquire("telemetry.metrics.registry");
+        drop(a); // released before b — must not corrupt the stack
+        let c = acquire("telemetry.sink");
+        drop(c);
+        drop(b);
+        assert_eq!(held_count(), 0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn decreasing_order_panics_in_debug() {
+        let _a = acquire("telemetry.sink");
+        let _b = acquire("parallel.pool.pending");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "no declared rank")]
+    fn unknown_lock_panics_in_debug() {
+        let _t = acquire("nonexistent.lock");
+    }
+
+    #[test]
+    fn rank_lookup() {
+        assert_eq!(rank_of("telemetry.sink"), Some(30));
+        assert_eq!(rank_of("nope"), None);
+    }
+}

@@ -184,6 +184,7 @@ fn registry() -> &'static Mutex<Registry> {
 
 /// Get or create the counter `name`.
 pub fn counter(name: &str) -> Counter {
+    let _order = crate::lockcheck::acquire("telemetry.metrics.registry");
     let mut reg = registry().lock().expect("metrics registry poisoned");
     reg.counters
         .entry(name.to_string())
@@ -193,6 +194,7 @@ pub fn counter(name: &str) -> Counter {
 
 /// Get or create the gauge `name`.
 pub fn gauge(name: &str) -> Gauge {
+    let _order = crate::lockcheck::acquire("telemetry.metrics.registry");
     let mut reg = registry().lock().expect("metrics registry poisoned");
     reg.gauges
         .entry(name.to_string())
@@ -208,6 +210,7 @@ pub fn histogram(name: &str) -> Histogram {
 /// Get or create the histogram `name`; `bounds` (strictly increasing
 /// upper boundaries) apply only on first creation, empty means default.
 pub fn histogram_with(name: &str, bounds: &[f64]) -> Histogram {
+    let _order = crate::lockcheck::acquire("telemetry.metrics.registry");
     let mut reg = registry().lock().expect("metrics registry poisoned");
     reg.histograms
         .entry(name.to_string())
@@ -253,6 +256,7 @@ pub struct MetricsSnapshot {
 
 /// Snapshot all metrics (sorted by name; zero-count entries included).
 pub fn snapshot() -> MetricsSnapshot {
+    let _order = crate::lockcheck::acquire("telemetry.metrics.registry");
     let reg = registry().lock().expect("metrics registry poisoned");
     MetricsSnapshot {
         counters: reg.counters.iter().map(|(k, c)| (k.clone(), c.get())).collect(),
@@ -281,6 +285,7 @@ pub fn snapshot() -> MetricsSnapshot {
 /// Drop every registered metric (tests and multi-run binaries). Existing
 /// handles keep working but detach from the registry.
 pub fn reset() {
+    let _order = crate::lockcheck::acquire("telemetry.metrics.registry");
     let mut reg = registry().lock().expect("metrics registry poisoned");
     *reg = Registry::default();
 }

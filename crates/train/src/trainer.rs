@@ -55,6 +55,40 @@ pub struct TrainerConfig {
     pub log_every: u64,
 }
 
+impl TrainerConfig {
+    /// Validate hyper-parameters before building replicas or buffers.
+    /// [`train_lm`] asserts this; the static preflight in `astro-audit`
+    /// enforces the same rules (`preflight.steps`, `preflight.lr`) without
+    /// running the trainer.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.devices == 0 || self.grad_accum == 0 || self.steps == 0 {
+            return Err(format!(
+                "devices {}, grad_accum {} and steps {} must all be nonzero",
+                self.devices, self.grad_accum, self.steps
+            ));
+        }
+        if self.batch == 0 || self.seq == 0 {
+            return Err(format!("batch {} and seq {} must be nonzero", self.batch, self.seq));
+        }
+        if !(self.lr > 0.0 && self.lr.is_finite()) {
+            return Err(format!("lr must be positive and finite, got {}", self.lr));
+        }
+        if !(0.0..=1.0).contains(&self.warmup_ratio) {
+            return Err(format!("warmup_ratio {} outside [0, 1]", self.warmup_ratio));
+        }
+        if self.grad_clip < 0.0 || !self.grad_clip.is_finite() {
+            return Err(format!("grad_clip must be finite and >= 0, got {}", self.grad_clip));
+        }
+        if self.weight_decay < 0.0 || !self.weight_decay.is_finite() {
+            return Err(format!(
+                "weight_decay must be finite and >= 0, got {}",
+                self.weight_decay
+            ));
+        }
+        Ok(())
+    }
+}
+
 impl Default for TrainerConfig {
     fn default() -> Self {
         TrainerConfig {
@@ -116,7 +150,8 @@ pub fn train_lm(
     cfg: &TrainerConfig,
     rng: &Rng,
 ) -> TrainReport {
-    assert!(cfg.devices >= 1 && cfg.grad_accum >= 1 && cfg.steps >= 1);
+    let valid = cfg.validate();
+    assert!(valid.is_ok(), "invalid TrainerConfig: {}", valid.unwrap_err());
     let kind = match source {
         BatchSource::Lm(_) => "lm",
         BatchSource::Sft(..) => "sft",
