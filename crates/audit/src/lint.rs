@@ -40,6 +40,8 @@ const SPAN_REQUIRED: &[(&str, &str)] = &[
     ("crates/core/src/study.rs", "run_table1"),
     ("crates/train/src/trainer.rs", "train_lm"),
     ("crates/eval/src/score.rs", "evaluate"),
+    ("crates/serve/src/engine.rs", "score_batch"),
+    ("crates/serve/src/engine.rs", "generate_batch"),
 ];
 
 /// One raw lint hit before allowlist filtering.

@@ -1,7 +1,8 @@
 //! Static lock-order analysis over the workspace's annotated lock sites.
 //!
-//! Every `Mutex::lock()` call in `crates/parallel` and `crates/telemetry`
-//! is preceded by a `lockcheck::acquire("<lock name>")` annotation (see
+//! Every `Mutex::lock()` call in `crates/parallel`, `crates/serve` and
+//! `crates/telemetry` is preceded by a `lockcheck::acquire("<lock name>")`
+//! annotation (see
 //! [`astro_telemetry::lockcheck`]). This pass re-derives the
 //! lock-acquisition graph from source text alone:
 //!
@@ -277,19 +278,20 @@ fn find_cycle(edges: &[(String, String)]) -> Option<Vec<String>> {
     None
 }
 
-/// Run the full static lock-order pass over `<root>/crates/parallel/src`
-/// and `<root>/crates/telemetry/src`.
+/// Run the full static lock-order pass over `<root>/crates/parallel/src`,
+/// `<root>/crates/serve/src` and `<root>/crates/telemetry/src`.
 pub fn analyze_locks(root: &Path) -> LockReport {
     let mut report = LockReport::default();
     let mut files = Vec::new();
-    for crate_dir in ["crates/parallel/src", "crates/telemetry/src"] {
+    for crate_dir in ["crates/parallel/src", "crates/serve/src", "crates/telemetry/src"] {
         rust_files(&root.join(crate_dir), &mut files);
     }
     if files.is_empty() {
         report.diagnostics.push(Diagnostic::error(
             "locks.no-sources",
             &root.display().to_string(),
-            "no Rust sources found under crates/parallel or crates/telemetry".to_string(),
+            "no Rust sources found under crates/parallel, crates/serve or crates/telemetry"
+                .to_string(),
         ));
         return report;
     }

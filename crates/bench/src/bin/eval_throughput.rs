@@ -1,0 +1,177 @@
+//! Benchmark the astro-serve batched eval engine against the serial
+//! reference scoring loop: questions/sec, prefix-cache hit rate, and
+//! tokens encoded vs saved.
+//!
+//! ```sh
+//! cargo run --release -p astro-bench --bin eval_throughput -- [smoke|fast|full] [seed]
+//! ```
+//!
+//! The run scores the preset's eval subset twice with the token method
+//! (base-model readout) on an untrained model — training state does not
+//! change the scoring path, so the bench isolates engine overhead:
+//!
+//! 1. **serial** — the uncached reference loop
+//!    (`EngineConfig::serial()`), one fresh session per question;
+//! 2. **pooled** — the engine with prefix caching
+//!    (`EngineConfig::pooled()`), two-shot preamble and per-article
+//!    context encoded once and forked.
+//!
+//! It then *asserts* the engine's contract and exits non-zero on any
+//! violation: per-question predictions and per-option score bits
+//! identical to serial, prefix-cache hit rate > 0, and pooled
+//! questions/sec at least 2x serial. Results land in
+//! `BENCH_eval_throughput.json` (self-validated against the repo's JSON
+//! parser) for future performance PRs to diff; docs/SERVING.md explains
+//! how to read them.
+
+use astro_bench::{instrumented_run, JsonObject};
+use astro_telemetry::{counter, info};
+use astromlab::eval::{token_method_outcomes, EvalModel, TokenEvalConfig, TokenOutcome};
+use astromlab::model::{Params, Tier};
+use astromlab::prng::Rng;
+use astromlab::serve::EngineConfig;
+use astromlab::Study;
+
+/// Counters the engine publishes (see `astro_serve::engine`); the bench
+/// reports the delta across the pooled run.
+const ENGINE_COUNTERS: [&str; 5] = [
+    "serve.prefix.hits",
+    "serve.prefix.misses",
+    "serve.tokens.saved",
+    "serve.tokens.encoded",
+    "serve.cache.evictions",
+];
+
+fn counters_now() -> [u64; 5] {
+    let mut out = [0u64; 5];
+    for (i, name) in ENGINE_COUNTERS.iter().enumerate() {
+        out[i] = counter(name).get();
+    }
+    out
+}
+
+/// Bitwise equality of serial and pooled outcomes; returns the first
+/// divergence rendered, if any.
+fn parity_failure(serial: &[TokenOutcome], pooled: &[TokenOutcome]) -> Option<String> {
+    if serial.len() != pooled.len() {
+        return Some(format!("length {} vs {}", serial.len(), pooled.len()));
+    }
+    for (i, (s, p)) in serial.iter().zip(pooled.iter()).enumerate() {
+        if s.prediction != p.prediction {
+            return Some(format!("q{i}: prediction {} vs {}", s.prediction, p.prediction));
+        }
+        let (sb, pb): (Vec<u32>, Vec<u32>) = (
+            s.scores.iter().map(|v| v.to_bits()).collect(),
+            p.scores.iter().map(|v| v.to_bits()).collect(),
+        );
+        if sb != pb {
+            return Some(format!("q{i}: scores {:?} vs {:?}", s.scores, p.scores));
+        }
+    }
+    None
+}
+
+fn main() {
+    let (config, mut run) = instrumented_run("eval_throughput");
+    let study = Study::prepare(config);
+    let params = Params::init(
+        study.model_config(Tier::S7b),
+        &mut Rng::seed_from(study.config.seed),
+    );
+    let model = EvalModel {
+        params: &params,
+        tokenizer: &study.tokenizer,
+    };
+    let questions = study.eval_questions();
+    let n = questions.len();
+    info!("eval_throughput: {n} questions, token method, S7b untrained");
+
+    let serial_cfg = TokenEvalConfig {
+        engine: EngineConfig::serial(),
+        ..Default::default()
+    };
+    let t = std::time::Instant::now();
+    let serial = token_method_outcomes(&model, &questions, &study.mcq.exemplars, &serial_cfg);
+    let serial_wall = t.elapsed().as_secs_f64();
+    let serial_qps = n as f64 / serial_wall;
+    info!("serial: {serial_wall:.2}s ({serial_qps:.2} questions/sec)");
+
+    let pooled_cfg = TokenEvalConfig {
+        engine: EngineConfig::pooled(),
+        ..Default::default()
+    };
+    let before = counters_now();
+    let t = std::time::Instant::now();
+    let pooled = token_method_outcomes(&model, &questions, &study.mcq.exemplars, &pooled_cfg);
+    let pooled_wall = t.elapsed().as_secs_f64();
+    let after = counters_now();
+    let pooled_qps = n as f64 / pooled_wall;
+    let [hits, misses, saved, encoded, evictions] =
+        [0, 1, 2, 3, 4].map(|i| after[i] - before[i]);
+    let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+    let speedup = pooled_qps / serial_qps;
+    let workers = pooled_cfg.engine.resolved_parallelism();
+    info!(
+        "pooled: {pooled_wall:.2}s ({pooled_qps:.2} questions/sec, {workers} workers) \
+         — {speedup:.2}x serial"
+    );
+    info!(
+        "prefix cache: {hits} hits / {misses} misses (rate {hit_rate:.2}), \
+         {encoded} tokens encoded, {saved} saved, {evictions} evictions"
+    );
+
+    let parity = parity_failure(&serial, &pooled);
+    let mut obj = JsonObject::new();
+    obj.str("bench", "eval_throughput")
+        .str(
+            "preset",
+            &std::env::args().nth(1).unwrap_or_else(|| "fast".into()),
+        )
+        .num("seed", study.config.seed as f64)
+        .num("n_questions", n as f64)
+        .num("serial_wall_secs", serial_wall)
+        .num("serial_questions_per_sec", serial_qps)
+        .num("pooled_wall_secs", pooled_wall)
+        .num("pooled_questions_per_sec", pooled_qps)
+        .num("pooled_workers", workers as f64)
+        .num("speedup", speedup)
+        .num("prefix_hits", hits as f64)
+        .num("prefix_misses", misses as f64)
+        .num("prefix_hit_rate", hit_rate)
+        .num("tokens_encoded", encoded as f64)
+        .num("tokens_saved", saved as f64)
+        .num("cache_evictions", evictions as f64)
+        .str("parity", if parity.is_none() { "bitwise" } else { "FAILED" });
+    let json = obj.finish();
+    // The output must stay parseable by the repo's own JSON subset.
+    if let Err(e) = astromlab::eval::json::Json::parse(&json) {
+        info!("eval_throughput: emitted invalid JSON ({e:?})");
+        std::process::exit(1);
+    }
+    match std::fs::write("BENCH_eval_throughput.json", &json) {
+        Ok(()) => run.add("bench_json", "BENCH_eval_throughput.json"),
+        Err(e) => info!("BENCH_eval_throughput.json not written: {e}"),
+    }
+    run.add("speedup", &format!("{speedup:.2}"));
+    run.finish();
+
+    // Contract checks last, so the JSON and manifest always land for
+    // diagnosis even when a check fails the run.
+    let mut failures = Vec::new();
+    if let Some(msg) = parity {
+        failures.push(format!("parity violated: {msg}"));
+    }
+    if hit_rate <= 0.0 {
+        failures.push(format!("prefix-cache hit rate must be > 0, got {hit_rate}"));
+    }
+    if speedup < 2.0 {
+        failures.push(format!("pooled must be >= 2x serial, got {speedup:.2}x"));
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            info!("eval_throughput: FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    info!("eval_throughput: OK ({speedup:.2}x, hit rate {hit_rate:.2})");
+}

@@ -183,6 +183,7 @@ pub fn ablation_eval_method(study: &Study) -> Vec<AblationPoint> {
                 shots: 2,
                 detect_variants: true,
                 readout: AnswerReadout::OptionValue,
+                engine: study.config.eval_engine,
             },
         ),
         (
@@ -191,6 +192,7 @@ pub fn ablation_eval_method(study: &Study) -> Vec<AblationPoint> {
                 shots: 2,
                 detect_variants: false,
                 readout: AnswerReadout::OptionValue,
+                engine: study.config.eval_engine,
             },
         ),
         (
@@ -199,6 +201,7 @@ pub fn ablation_eval_method(study: &Study) -> Vec<AblationPoint> {
                 shots: 0,
                 detect_variants: true,
                 readout: AnswerReadout::OptionValue,
+                engine: study.config.eval_engine,
             },
         ),
         (
@@ -207,6 +210,7 @@ pub fn ablation_eval_method(study: &Study) -> Vec<AblationPoint> {
                 shots: 0,
                 detect_variants: false,
                 readout: AnswerReadout::OptionValue,
+                engine: study.config.eval_engine,
             },
         ),
         (
@@ -215,6 +219,7 @@ pub fn ablation_eval_method(study: &Study) -> Vec<AblationPoint> {
                 shots: 2,
                 detect_variants: true,
                 readout: AnswerReadout::Letter,
+                engine: study.config.eval_engine,
             },
         ),
     ];

@@ -40,6 +40,7 @@ pub use astro_mcq as mcq;
 pub use astro_model as model;
 pub use astro_parallel as parallel;
 pub use astro_prng as prng;
+pub use astro_serve as serve;
 pub use astro_tensor as tensor;
 pub use astro_tokenizer as tokenizer;
 pub use astro_train as train;

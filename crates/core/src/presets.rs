@@ -10,6 +10,7 @@
 //! Learning rates mirror the paper's *relations* (SFT ≪ CPT ≤ pretrain;
 //! paper: CPT 2e-5, SFT 3e-7) rescaled to our model scale.
 
+use astro_serve::EngineConfig;
 use astro_world::WorldConfig;
 
 /// All knobs of one end-to-end study.
@@ -53,6 +54,10 @@ pub struct StudyConfig {
     pub n_eval_questions: usize,
     /// Use the verbose Appendix-B prompt in the full-instruct method.
     pub verbose_prompt: bool,
+    /// Evaluation execution strategy. Presets default to
+    /// [`EngineConfig::pooled`] — safe because the engine is bit-identical
+    /// to the serial path for every setting (`tests/eval_parity.rs`).
+    pub eval_engine: EngineConfig,
 }
 
 impl StudyConfig {
@@ -82,6 +87,7 @@ impl StudyConfig {
             sft_json_fraction: 0.35,
             n_eval_questions: 24,
             verbose_prompt: false,
+            eval_engine: EngineConfig::pooled(),
         }
     }
 
@@ -116,6 +122,7 @@ impl StudyConfig {
             sft_json_fraction: 0.35,
             n_eval_questions: 120,
             verbose_prompt: false,
+            eval_engine: EngineConfig::pooled(),
         }
     }
 

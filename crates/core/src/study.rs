@@ -282,7 +282,10 @@ impl Study {
             &model,
             &questions,
             &self.mcq.exemplars,
-            &TokenEvalConfig::default(),
+            &TokenEvalConfig {
+                engine: self.config.eval_engine,
+                ..Default::default()
+            },
         );
         let correct = preds
             .iter()
@@ -313,9 +316,13 @@ impl Study {
             &questions,
             &self.mcq.exemplars,
             method,
-            &TokenEvalConfig::default(),
+            &TokenEvalConfig {
+                engine: self.config.eval_engine,
+                ..Default::default()
+            },
             &InstructEvalConfig {
                 verbose_prompt: self.config.verbose_prompt,
+                engine: self.config.eval_engine,
                 ..Default::default()
             },
             &mut rng,

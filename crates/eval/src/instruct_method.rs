@@ -14,6 +14,7 @@ use astro_mcq::prompts::instruct_method_messages;
 use astro_mcq::Mcq;
 use astro_model::{sample_logits, InferenceSession, SamplerConfig};
 use astro_prng::Rng;
+use astro_serve::{EngineConfig, EvalEngine, GenerateJob};
 use astro_tokenizer::{ChatMessage, ChatTemplate, Role};
 
 /// Configuration for the full-instruct method.
@@ -27,6 +28,10 @@ pub struct InstructEvalConfig {
     pub sampler: SamplerConfig,
     /// Use the verbose Appendix-B boilerplate prompt.
     pub verbose_prompt: bool,
+    /// How batches execute: worker count and prefix caching. The default
+    /// ([`EngineConfig::serial`]) preserves the original single-threaded
+    /// fresh-session behaviour exactly.
+    pub engine: EngineConfig,
 }
 
 impl Default for InstructEvalConfig {
@@ -35,6 +40,7 @@ impl Default for InstructEvalConfig {
             max_new_tokens: 48,
             sampler: SamplerConfig::greedy(),
             verbose_prompt: false,
+            engine: EngineConfig::serial(),
         }
     }
 }
@@ -50,13 +56,14 @@ pub struct InstructAnswer {
     pub raw: String,
 }
 
-/// Generate an answer for one question.
-pub fn instruct_method_answer(
+/// The encoded, truncated chat prompt and generation budget for one
+/// question — shared by the serial path and the engine job builder so
+/// both generate from the identical context.
+fn prompt_and_budget(
     model: &EvalModel<'_>,
     question: &Mcq,
     config: &InstructEvalConfig,
-    rng: &mut Rng,
-) -> InstructAnswer {
+) -> (Vec<u32>, usize) {
     let (system, user) = instruct_method_messages(question, config.verbose_prompt);
     let msgs = [
         ChatMessage::new(Role::System, system),
@@ -70,6 +77,17 @@ pub fn instruct_method_answer(
     if prompt.len() > cap - budget {
         prompt.drain(0..prompt.len() - (cap - budget));
     }
+    (prompt, budget)
+}
+
+/// Generate an answer for one question.
+pub fn instruct_method_answer(
+    model: &EvalModel<'_>,
+    question: &Mcq,
+    config: &InstructEvalConfig,
+    rng: &mut Rng,
+) -> InstructAnswer {
+    let (prompt, budget) = prompt_and_budget(model, question, config);
     let mut sess = InferenceSession::new(model.params.cfg);
     let mut logits = sess.feed_prompt(model.params, &prompt);
     let end = model.tokenizer.special("<|end|>");
@@ -95,19 +113,64 @@ pub fn instruct_method_answer(
     }
 }
 
-/// Evaluate the full-instruct method over a question set.
+/// Evaluate the full-instruct method over a question set. Each question
+/// draws from its own random substream (`"instruct-q"` by index), so the
+/// results are identical for every `config.engine` setting — scheduling
+/// order cannot leak into sampling.
 pub fn instruct_method(
     model: &EvalModel<'_>,
     questions: &[&Mcq],
     config: &InstructEvalConfig,
     rng: &mut Rng,
 ) -> Vec<InstructAnswer> {
-    questions
+    if config.engine.is_serial_uncached() {
+        // The pre-engine reference path: fresh session per question.
+        return questions
+            .iter()
+            .enumerate()
+            .map(|(i, q)| {
+                let mut qrng = rng.substream_idx("instruct-q", i as u64);
+                instruct_method_answer(model, q, config, &mut qrng)
+            })
+            .collect();
+    }
+    let end = model.tokenizer.special("<|end|>");
+    let eos = model.tokenizer.eos();
+    let engine = EvalEngine::new(config.engine, model.params);
+    let jobs: Vec<GenerateJob> = questions
         .iter()
         .enumerate()
         .map(|(i, q)| {
-            let mut qrng = rng.substream_idx("instruct-q", i as u64);
-            instruct_method_answer(model, q, config, &mut qrng)
+            let (prompt, budget) = prompt_and_budget(model, q, config);
+            GenerateJob {
+                prompt,
+                group: Some(q.article as u64),
+                max_new: budget,
+                sampler: config.sampler,
+                rng: rng.substream_idx("instruct-q", i as u64),
+                stop: vec![end, eos],
+            }
+        })
+        .collect();
+    engine
+        .generate_batch(jobs)
+        .into_iter()
+        .zip(questions.iter())
+        .map(|(r, q)| match r {
+            Ok(generated) => {
+                let raw = model.tokenizer.decode(&generated);
+                let (prediction, stage) = extract_answer(&raw, &q.options);
+                InstructAnswer {
+                    prediction,
+                    stage,
+                    raw,
+                }
+            }
+            Err(_) => InstructAnswer {
+                prediction: None,
+                stage: ExtractionStage::Failed,
+                raw: String::new(),
+            },
         })
         .collect()
 }

@@ -29,7 +29,7 @@ pub use extract::{extract_answer, ExtractionStage};
 pub use instruct_method::{instruct_method, InstructEvalConfig};
 pub use oracle::FlagshipOracle;
 pub use score::{bootstrap_ci, evaluate, EvalOutcome, Method, Score, TierBreakdown};
-pub use token_method::{token_method, AnswerReadout, TokenEvalConfig};
+pub use token_method::{token_method, token_method_outcomes, AnswerReadout, TokenEvalConfig, TokenOutcome};
 
 /// A model under evaluation: parameters plus the tokenizer it was trained
 /// with.

@@ -17,7 +17,8 @@
 use crate::EvalModel;
 use astro_mcq::prompts::token_method_prompt;
 use astro_mcq::Mcq;
-use astro_model::InferenceSession;
+use astro_model::{InferenceSession, SessionError};
+use astro_serve::{EngineConfig, EvalEngine, ScoreJob, ScoreReadout};
 use astro_tokenizer::TokenId;
 
 /// Which token representation encodes "the answer" in the readout.
@@ -39,6 +40,10 @@ pub struct TokenEvalConfig {
     pub detect_variants: bool,
     /// Answer representation to read.
     pub readout: AnswerReadout,
+    /// How batches execute: worker count and prefix caching. The default
+    /// ([`EngineConfig::serial`]) preserves the original single-threaded
+    /// fresh-session behaviour exactly.
+    pub engine: EngineConfig,
 }
 
 impl Default for TokenEvalConfig {
@@ -47,6 +52,7 @@ impl Default for TokenEvalConfig {
             shots: 2,
             detect_variants: true,
             readout: AnswerReadout::OptionValue,
+            engine: EngineConfig::serial(),
         }
     }
 }
@@ -123,15 +129,7 @@ pub fn token_method_predict(
     exemplars: &[Mcq],
     config: &TokenEvalConfig,
 ) -> (usize, [f32; 4]) {
-    let prompt = token_method_prompt(question, exemplars, config.shots);
-    let mut tokens = model.tokenizer.encode_with_bounds(&prompt, false);
-    // Fit the KV cache, leaving room to score continuations: keep the
-    // *tail* of the prompt (the test question must survive truncation;
-    // exemplars are expendable).
-    let cap = model.params.cfg.max_seq.saturating_sub(12).max(1);
-    if tokens.len() > cap {
-        tokens.drain(0..tokens.len() - cap);
-    }
+    let tokens = prompt_tokens(model, question, exemplars, config);
     let mut sess = InferenceSession::new(model.params.cfg);
     sess.feed_prompt(model.params, &tokens);
 
@@ -166,6 +164,135 @@ pub fn token_method_predict(
     (best, scores)
 }
 
+/// The encoded, truncated prompt for one question — shared by the serial
+/// path and the engine job builder so both score the identical context.
+fn prompt_tokens(
+    model: &EvalModel<'_>,
+    question: &Mcq,
+    exemplars: &[Mcq],
+    config: &TokenEvalConfig,
+) -> Vec<u32> {
+    let prompt = token_method_prompt(question, exemplars, config.shots);
+    let mut tokens = model.tokenizer.encode_with_bounds(&prompt, false);
+    // Fit the KV cache, leaving room to score continuations: keep the
+    // *tail* of the prompt (the test question must survive truncation;
+    // exemplars are expendable).
+    let cap = model.params.cfg.max_seq.saturating_sub(12).max(1);
+    if tokens.len() > cap {
+        tokens.drain(0..tokens.len() - cap);
+    }
+    tokens
+}
+
+/// One question's token-method outcome with full diagnostics.
+#[derive(Clone, Debug)]
+pub struct TokenOutcome {
+    /// The predicted option index (0 when the question errored).
+    pub prediction: usize,
+    /// Per-option scores (all `-inf` when the question errored).
+    pub scores: [f32; 4],
+    /// A per-question engine failure (e.g. the prompt overflowed the KV
+    /// cache); the rest of the sweep is unaffected.
+    pub error: Option<SessionError>,
+}
+
+/// The engine job for one question, mirroring [`token_method_predict`]'s
+/// readout structure exactly (variant order included, so max-folding is
+/// bitwise identical).
+fn score_job(
+    model: &EvalModel<'_>,
+    question: &Mcq,
+    exemplars: &[Mcq],
+    config: &TokenEvalConfig,
+) -> ScoreJob {
+    let readout = match config.readout {
+        AnswerReadout::OptionValue => ScoreReadout::ContinuationGroups(
+            question
+                .options
+                .iter()
+                .map(|opt| {
+                    let mut variants = vec![model.tokenizer.encode(&format!(" {opt}"))];
+                    if config.detect_variants {
+                        variants.push(model.tokenizer.encode(opt));
+                    }
+                    variants
+                })
+                .collect(),
+        ),
+        AnswerReadout::Letter => ScoreReadout::LogitGroups(
+            ['A', 'B', 'C', 'D']
+                .iter()
+                .map(|letter| {
+                    answer_candidates(model, &letter.to_string(), config.detect_variants)
+                })
+                .collect(),
+        ),
+    };
+    ScoreJob {
+        prompt: prompt_tokens(model, question, exemplars, config),
+        group: Some(question.article as u64),
+        readout,
+    }
+}
+
+/// Evaluate the token method over a question set with full per-question
+/// outcomes. `config.engine` selects the execution strategy; every
+/// setting produces bit-identical scores (`tests/eval_parity.rs`).
+pub fn token_method_outcomes(
+    model: &EvalModel<'_>,
+    questions: &[&Mcq],
+    exemplars: &[Mcq],
+    config: &TokenEvalConfig,
+) -> Vec<TokenOutcome> {
+    if config.engine.is_serial_uncached() {
+        // The pre-engine reference path: fresh session per question.
+        return questions
+            .iter()
+            .map(|q| {
+                let (prediction, scores) = token_method_predict(model, q, exemplars, config);
+                TokenOutcome {
+                    prediction,
+                    scores,
+                    error: None,
+                }
+            })
+            .collect();
+    }
+    let engine = EvalEngine::new(config.engine, model.params);
+    let jobs: Vec<ScoreJob> = questions
+        .iter()
+        .map(|q| score_job(model, q, exemplars, config))
+        .collect();
+    engine
+        .score_batch(jobs)
+        .into_iter()
+        .map(|r| match r {
+            Ok(s) => {
+                let mut scores = [f32::NEG_INFINITY; 4];
+                for (dst, src) in scores.iter_mut().zip(s.iter()) {
+                    *dst = *src;
+                }
+                let mut best = 0;
+                for i in 1..4 {
+                    if scores[i] > scores[best] {
+                        best = i;
+                    }
+                }
+                TokenOutcome {
+                    prediction: best,
+                    scores,
+                    error: None,
+                }
+            }
+            Err(e) => TokenOutcome {
+                prediction: 0,
+                scores: [f32::NEG_INFINITY; 4],
+                error: Some(e),
+            },
+        })
+        .collect()
+}
+
 /// Evaluate the token method over a question set; returns per-question
 /// predictions.
 pub fn token_method(
@@ -174,9 +301,9 @@ pub fn token_method(
     exemplars: &[Mcq],
     config: &TokenEvalConfig,
 ) -> Vec<usize> {
-    questions
-        .iter()
-        .map(|q| token_method_predict(model, q, exemplars, config).0)
+    token_method_outcomes(model, questions, exemplars, config)
+        .into_iter()
+        .map(|o| o.prediction)
         .collect()
 }
 

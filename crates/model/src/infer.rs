@@ -11,6 +11,35 @@ use crate::{ModelConfig, ROPE_THETA};
 use astro_tensor::matmul::dot;
 use astro_tensor::ops;
 
+/// Typed failure of an [`InferenceSession`] step.
+///
+/// Returned by [`InferenceSession::try_feed`] so callers that score many
+/// independent prompts (the `astro-serve` evaluation engine) can surface a
+/// full KV cache as a *per-question* error instead of aborting a whole
+/// worker pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionError {
+    /// The KV cache is full: the session already holds `max_seq` tokens.
+    CacheFull {
+        /// Position the rejected token would have occupied.
+        pos: usize,
+        /// The session's capacity (`ModelConfig::max_seq`).
+        max_seq: usize,
+    },
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::CacheFull { pos, max_seq } => {
+                write!(f, "KV cache full: position {pos} reached max_seq {max_seq}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
 /// Incremental decoding state for one sequence.
 ///
 /// `Clone` forks the session: both copies share the consumed prefix and
@@ -95,18 +124,68 @@ impl InferenceSession {
         self.pos = 0;
     }
 
+    /// The configuration this session was allocated for.
+    pub fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    /// Overwrite this session's state with `other`'s, reusing this
+    /// session's allocations — the no-alloc fork used by pool workers that
+    /// score thousands of prompts. Only the consumed KV rows and the last
+    /// logits are copied; scratch buffers are overwritten by the next
+    /// `feed` anyway. Both sessions must share a configuration.
+    pub fn assign_from(&mut self, other: &InferenceSession) {
+        assert!(
+            self.cfg == other.cfg,
+            "assign_from across configs: {:?} vs {:?}",
+            self.cfg,
+            other.cfg
+        );
+        self.pos = other.pos;
+        let n = other.pos * self.cfg.d_model;
+        for l in 0..self.cfg.n_layers {
+            self.k_cache[l][..n].copy_from_slice(&other.k_cache[l][..n]);
+            self.v_cache[l][..n].copy_from_slice(&other.v_cache[l][..n]);
+        }
+        self.logits.copy_from_slice(&other.logits);
+    }
+
+    /// Feed one token; returns the logits for the *next* token, or
+    /// [`SessionError::CacheFull`] when the session already holds
+    /// `max_seq` tokens. This is the fallible entry point batch engines
+    /// use to turn an over-long prompt into a per-prompt error.
+    pub fn try_feed(&mut self, p: &Params, token: u32) -> Result<&[f32], SessionError> {
+        if self.pos >= self.cfg.max_seq {
+            return Err(SessionError::CacheFull {
+                pos: self.pos,
+                max_seq: self.cfg.max_seq,
+            });
+        }
+        Ok(self.feed_unchecked(p, token))
+    }
+
     /// Feed one token; returns the logits for the *next* token.
     ///
     /// # Panics
-    /// Panics when the cache is full (`position() == max_seq`).
+    /// Panics when the cache is full (`position() == max_seq`); use
+    /// [`Self::try_feed`] to handle that case as a typed error.
     pub fn feed(&mut self, p: &Params, token: u32) -> &[f32] {
+        assert!(
+            self.pos < self.cfg.max_seq,
+            "KV cache full at {}",
+            self.pos
+        );
+        self.feed_unchecked(p, token)
+    }
+
+    /// The step kernel; capacity has already been checked.
+    fn feed_unchecked(&mut self, p: &Params, token: u32) -> &[f32] {
         let c = self.cfg.d_model;
         let f = self.cfg.d_ff;
         let h = self.cfg.n_heads;
         let hs = self.cfg.head_dim();
         let half = hs / 2;
         let pos = self.pos;
-        assert!(pos < self.cfg.max_seq, "KV cache full at {pos}");
         let embed = p.view(&p.layout.embed.clone());
         let tok = token as usize;
         assert!(tok < self.cfg.vocab_size, "token {tok} out of vocab");
@@ -303,6 +382,67 @@ mod tests {
         for _ in 0..=cfg.max_seq {
             sess.feed(&p, 1);
         }
+    }
+
+    #[test]
+    fn try_feed_returns_cache_full_instead_of_panicking() {
+        let cfg = ModelConfig::tiny(16);
+        let p = Params::init(cfg, &mut Rng::seed_from(7));
+        let mut sess = InferenceSession::new(cfg);
+        for _ in 0..cfg.max_seq {
+            sess.try_feed(&p, 1).unwrap();
+        }
+        let err = sess.try_feed(&p, 1).unwrap_err();
+        assert_eq!(
+            err,
+            SessionError::CacheFull {
+                pos: cfg.max_seq,
+                max_seq: cfg.max_seq
+            }
+        );
+        // The session is still usable after the error (state unchanged).
+        assert_eq!(sess.position(), cfg.max_seq);
+        sess.reset();
+        sess.try_feed(&p, 1).unwrap();
+    }
+
+    #[test]
+    fn try_feed_matches_feed() {
+        let cfg = ModelConfig::tiny(16);
+        let p = Params::init(cfg, &mut Rng::seed_from(9));
+        let mut a = InferenceSession::new(cfg);
+        let mut b = InferenceSession::new(cfg);
+        for &t in &[3u32, 1, 4, 1, 5] {
+            let la = a.feed(&p, t).to_vec();
+            let lb = b.try_feed(&p, t).unwrap().to_vec();
+            assert_eq!(la, lb);
+        }
+    }
+
+    #[test]
+    fn assign_from_forks_without_allocating_fresh_state() {
+        let cfg = ModelConfig::tiny(16);
+        let p = Params::init(cfg, &mut Rng::seed_from(10));
+        let mut src = InferenceSession::new(cfg);
+        src.feed_prompt(&p, &[2, 7, 1]);
+        // A fork via assign_from must continue exactly like a clone.
+        let mut via_assign = InferenceSession::new(cfg);
+        // Dirty the target first so stale state would be caught.
+        via_assign.feed_prompt(&p, &[9, 9, 9, 9, 9]);
+        via_assign.assign_from(&src);
+        assert_eq!(via_assign.position(), 3);
+        assert_eq!(via_assign.last_logits(), src.last_logits());
+        let mut via_clone = src.clone();
+        let a = via_assign.feed(&p, 5).to_vec();
+        let b = via_clone.feed(&p, 5).to_vec();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn session_error_displays_positions() {
+        let e = SessionError::CacheFull { pos: 32, max_seq: 32 };
+        let s = format!("{e}");
+        assert!(s.contains("32"), "{s}");
     }
 
     #[test]

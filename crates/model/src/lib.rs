@@ -30,7 +30,7 @@ pub mod sample;
 pub mod serial;
 
 pub use forward::TrainContext;
-pub use infer::InferenceSession;
+pub use infer::{InferenceSession, SessionError};
 pub use params::Params;
 pub use sample::{argmax, generate, sample_logits, SamplerConfig};
 
@@ -168,6 +168,21 @@ impl ModelConfig {
     pub fn infer_flops_per_token(&self) -> f64 {
         self.train_flops_per_token() / 3.0
     }
+
+    /// Resident bytes of one [`infer::InferenceSession`] for this
+    /// configuration: per-layer KV caches plus step scratch, logits and
+    /// the RoPE tables. The `astro-serve` prefix cache derives its
+    /// eviction budget (capped resident KV bytes) from this.
+    pub fn session_bytes(&self) -> usize {
+        let f32s = std::mem::size_of::<f32>();
+        let kv = 2 * self.n_layers * self.max_seq * self.d_model;
+        // x, ln, q, attn_out, proj (d_model each) + ln_inv.
+        let step = 5 * self.d_model + 1;
+        let ffn = 3 * self.d_ff;
+        let scores = self.max_seq;
+        let rope = 2 * self.max_seq * (self.head_dim() / 2);
+        (kv + step + ffn + scores + self.vocab_size + rope) * f32s
+    }
 }
 
 /// RoPE base frequency (LLaMA uses 10000).
@@ -213,6 +228,15 @@ mod tests {
         let large = ModelConfig::tier(Tier::S70b, 512);
         assert!(large.train_flops_per_token() > small.train_flops_per_token());
         assert!(small.infer_flops_per_token() < small.train_flops_per_token());
+    }
+
+    #[test]
+    fn session_bytes_dominated_by_kv_and_scales_with_depth() {
+        let small = ModelConfig::tiny(64);
+        let big = ModelConfig::tier(Tier::S70b, 512);
+        assert!(big.session_bytes() > small.session_bytes());
+        let kv = 2 * big.n_layers * big.max_seq * big.d_model * 4;
+        assert!(big.session_bytes() >= kv);
     }
 
     #[test]

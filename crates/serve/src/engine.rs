@@ -1,0 +1,654 @@
+//! The batched evaluation engine.
+//!
+//! [`EvalEngine`] executes a batch of independent jobs — continuation /
+//! logit **scoring** ([`ScoreJob`]) or free **generation** ([`GenerateJob`])
+//! — across a worker pool with per-worker session reuse and shared-prefix
+//! caching:
+//!
+//! 1. Before dispatch, the longest common token prefix of the whole batch
+//!    (in practice: the two-shot preamble) is encoded once and **pinned**
+//!    in the prefix cache. Per-group common prefixes (questions about the
+//!    same article) are recorded as anchor targets.
+//! 2. Each worker pulls jobs off a shared atomic cursor. For each job it
+//!    forks the deepest cached snapshot into its reusable session
+//!    (`assign_from`), encodes only the unshared tail, and snapshots the
+//!    group anchor on the way past so later same-group jobs skip it too.
+//! 3. A prompt that exceeds the KV cache surfaces as that job's
+//!    `Err(SessionError::CacheFull)`; the rest of the batch is unaffected.
+//!
+//! Results are returned in job order regardless of completion order, and
+//! are bit-identical to running each job in a fresh session (see the
+//! crate-level determinism contract).
+
+use crate::trie::{CacheStats, PrefixCache};
+use crate::EngineConfig;
+use astro_model::{sample_logits, InferenceSession, ModelConfig, Params, SamplerConfig, SessionError};
+use astro_parallel::ThreadPool;
+use astro_prng::Rng;
+use astro_telemetry::lockcheck;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
+
+/// How a [`ScoreJob`]'s per-option scores are read out of the model.
+#[derive(Clone, Debug)]
+pub enum ScoreReadout {
+    /// Per option: a set of tokenised continuation variants. The option's
+    /// score is the **max** over variants of the length-normalised
+    /// continuation log-likelihood (the token method's `OptionValue`
+    /// readout). An option with no variants, or only empty ones, scores
+    /// `-inf`.
+    ContinuationGroups(Vec<Vec<Vec<u32>>>),
+    /// Per option: a set of candidate token ids. The option's score is the
+    /// **max raw logit** over its candidates after the prompt (the token
+    /// method's `Letter` readout). An empty group scores `-inf`.
+    LogitGroups(Vec<Vec<u32>>),
+}
+
+/// One prompt to score. `prompt` must be non-empty and already truncated
+/// to fit the model's context by the caller (the engine reports overflow,
+/// it does not silently truncate).
+#[derive(Clone, Debug)]
+pub struct ScoreJob {
+    /// Prompt tokens (encoded, truncated).
+    pub prompt: Vec<u32>,
+    /// Prefix-sharing hint: jobs with the same group id (e.g. the same
+    /// source article) get a shared mid-trie anchor. `None` opts out.
+    pub group: Option<u64>,
+    /// The readout to apply after the prompt.
+    pub readout: ScoreReadout,
+}
+
+/// One prompt to generate from. Like [`ScoreJob`], the prompt must be
+/// non-empty and pre-truncated with generation headroom.
+#[derive(Clone, Debug)]
+pub struct GenerateJob {
+    /// Prompt tokens (encoded, truncated).
+    pub prompt: Vec<u32>,
+    /// Prefix-sharing hint (see [`ScoreJob::group`]).
+    pub group: Option<u64>,
+    /// Maximum tokens to generate.
+    pub max_new: usize,
+    /// Sampling settings.
+    pub sampler: SamplerConfig,
+    /// Per-job random stream (pre-split by the caller so results do not
+    /// depend on scheduling order).
+    pub rng: Rng,
+    /// Token ids that end generation without being emitted.
+    pub stop: Vec<u32>,
+}
+
+/// Internal job representation so scoring and generation share one
+/// dispatch path.
+enum Job {
+    Score(ScoreJob),
+    Generate(GenerateJob),
+}
+
+impl Job {
+    fn prompt(&self) -> &[u32] {
+        match self {
+            Job::Score(j) => &j.prompt,
+            Job::Generate(j) => &j.prompt,
+        }
+    }
+
+    fn group(&self) -> Option<u64> {
+        match self {
+            Job::Score(j) => j.group,
+            Job::Generate(j) => j.group,
+        }
+    }
+}
+
+enum Outcome {
+    Scores(Vec<f32>),
+    Tokens(Vec<u32>),
+}
+
+/// Per-worker reusable state: the main session a job's prompt is encoded
+/// into, plus a second session used as the fork scratch when scoring
+/// continuations. Allocated once per worker, reused across jobs.
+struct WorkerState {
+    sess: InferenceSession,
+    fork: InferenceSession,
+}
+
+impl WorkerState {
+    fn new(cfg: ModelConfig) -> Self {
+        WorkerState {
+            sess: InferenceSession::new(cfg),
+            fork: InferenceSession::new(cfg),
+        }
+    }
+}
+
+/// The batched evaluation engine. Construction clones the parameters once
+/// (worker closures must be `'static`); per-batch cost is dominated by the
+/// model math, not the engine.
+pub struct EvalEngine {
+    cfg: EngineConfig,
+    model_cfg: ModelConfig,
+    params: Arc<Params>,
+    cache: Arc<Mutex<PrefixCache>>,
+}
+
+/// Lock the prefix cache under its declared lock rank, recovering from
+/// poisoning (the cache holds no invariants a panicked worker could have
+/// half-applied: every mutation completes or the trie is unchanged).
+fn lock_cache(cache: &Mutex<PrefixCache>) -> (lockcheck::LockToken, MutexGuard<'_, PrefixCache>) {
+    let token = lockcheck::acquire("serve.prefix_cache");
+    let guard = match cache.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    (token, guard)
+}
+
+/// Longest common prefix of two token slices.
+fn lcp_len(a: &[u32], b: &[u32]) -> usize {
+    a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
+}
+
+impl EvalEngine {
+    /// Build an engine for `params` with the given execution settings.
+    pub fn new(cfg: EngineConfig, params: &Params) -> Self {
+        let model_cfg = params.cfg;
+        let cache = PrefixCache::new(&model_cfg, cfg.max_cache_bytes);
+        EvalEngine {
+            cfg,
+            model_cfg,
+            params: Arc::new(params.clone()),
+            cache: Arc::new(Mutex::new(cache)),
+        }
+    }
+
+    /// The engine's execution settings.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Snapshot of the prefix cache's counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        let (_token, guard) = lock_cache(&self.cache);
+        guard.stats()
+    }
+
+    /// Score a batch of prompts; results come back in job order. Each
+    /// element is the per-option score vector, or that job's
+    /// [`SessionError`] when its prompt overflowed the KV cache.
+    pub fn score_batch(&self, jobs: Vec<ScoreJob>) -> Vec<Result<Vec<f32>, SessionError>> {
+        let span = astro_telemetry::span!("serve.score_batch", jobs = jobs.len());
+        let _ = &span;
+        let outcomes = self.run_batch(jobs.into_iter().map(Job::Score).collect());
+        outcomes
+            .into_iter()
+            .map(|r| {
+                r.map(|o| match o {
+                    Outcome::Scores(s) => s,
+                    Outcome::Tokens(_) => Vec::new(),
+                })
+            })
+            .collect()
+    }
+
+    /// Generate from a batch of prompts; results come back in job order.
+    /// Each element is the generated token sequence (stop token excluded),
+    /// or that job's [`SessionError`].
+    pub fn generate_batch(&self, jobs: Vec<GenerateJob>) -> Vec<Result<Vec<u32>, SessionError>> {
+        let span = astro_telemetry::span!("serve.generate_batch", jobs = jobs.len());
+        let _ = &span;
+        let outcomes = self.run_batch(jobs.into_iter().map(Job::Generate).collect());
+        outcomes
+            .into_iter()
+            .map(|r| {
+                r.map(|o| match o {
+                    Outcome::Tokens(t) => t,
+                    Outcome::Scores(_) => Vec::new(),
+                })
+            })
+            .collect()
+    }
+
+    /// Shared dispatch: prime anchors, fan out, collect in order, publish
+    /// cache metrics.
+    fn run_batch(&self, jobs: Vec<Job>) -> Vec<Result<Outcome, SessionError>> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let before = self.cache_stats();
+        let anchors = if self.cfg.prefix_cache {
+            self.prime_anchors(&jobs)
+        } else {
+            HashMap::new()
+        };
+
+        let n_jobs = jobs.len();
+        let workers = self.cfg.resolved_parallelism().min(n_jobs).max(1);
+        let cache = self.cfg.prefix_cache.then(|| Arc::clone(&self.cache));
+        let mut results: Vec<Option<Result<Outcome, SessionError>>> =
+            (0..n_jobs).map(|_| None).collect();
+
+        if workers <= 1 {
+            let mut state = WorkerState::new(self.model_cfg);
+            for (i, job) in jobs.iter().enumerate() {
+                results[i] = Some(run_job(&self.params, cache.as_deref(), &anchors, &mut state, job));
+            }
+        } else {
+            let jobs = Arc::new(jobs);
+            let anchors = Arc::new(anchors);
+            let cursor = Arc::new(AtomicUsize::new(0));
+            let (tx, rx) = mpsc::channel();
+            let pool = ThreadPool::new(workers);
+            for _ in 0..workers {
+                let jobs = Arc::clone(&jobs);
+                let anchors = Arc::clone(&anchors);
+                let cursor = Arc::clone(&cursor);
+                let params = Arc::clone(&self.params);
+                let cache = cache.clone();
+                let tx = tx.clone();
+                let model_cfg = self.model_cfg;
+                pool.execute(move || {
+                    let mut state = WorkerState::new(model_cfg);
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            break;
+                        }
+                        let r = run_job(&params, cache.as_deref(), &anchors, &mut state, &jobs[i]);
+                        if tx.send((i, r)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            for (i, r) in rx.iter() {
+                results[i] = Some(r);
+            }
+            pool.join();
+        }
+
+        let after = self.cache_stats();
+        publish_cache_metrics(&before, &after);
+        results
+            .into_iter()
+            .map(|r| match r {
+                Some(r) => r,
+                // Unreachable: every index below n_jobs is claimed exactly
+                // once and reported exactly once. Degrade to an error
+                // rather than panicking a batch.
+                None => Err(SessionError::CacheFull {
+                    pos: 0,
+                    max_seq: self.model_cfg.max_seq,
+                }),
+            })
+            .collect()
+    }
+
+    /// Encode and pin the batch-wide common prefix, and compute per-group
+    /// anchor prefixes worth snapshotting mid-feed (strictly deeper than
+    /// the batch anchor, shared by at least two jobs).
+    fn prime_anchors(&self, jobs: &[Job]) -> HashMap<u64, Vec<u32>> {
+        // Batch anchor: LCP over every prompt.
+        let mut batch_len = jobs.first().map(|j| j.prompt().len()).unwrap_or(0);
+        for j in jobs {
+            batch_len = batch_len.min(lcp_len(jobs[0].prompt(), j.prompt()));
+        }
+        if batch_len > 0 && jobs.len() >= 2 {
+            let anchor = &jobs[0].prompt()[..batch_len];
+            let need = {
+                let (_token, guard) = lock_cache(&self.cache);
+                !guard.has_snapshot(anchor)
+            };
+            if need {
+                let mut sess = InferenceSession::new(self.model_cfg);
+                let mut ok = true;
+                for &t in anchor {
+                    if sess.try_feed(&self.params, t).is_err() {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    let (_token, mut guard) = lock_cache(&self.cache);
+                    guard.insert(anchor, &sess, true);
+                }
+            }
+        }
+
+        // Group anchors: LCP within each group, where deeper than the
+        // batch anchor and shared by 2+ jobs.
+        let mut groups: HashMap<u64, (usize, usize)> = HashMap::new(); // id -> (first job, lcp)
+        for (i, j) in jobs.iter().enumerate() {
+            let Some(g) = j.group() else { continue };
+            match groups.get_mut(&g) {
+                None => {
+                    groups.insert(g, (i, j.prompt().len()));
+                }
+                Some((first, len)) => {
+                    *len = (*len).min(lcp_len(jobs[*first].prompt(), j.prompt()));
+                }
+            }
+        }
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for j in jobs {
+            if let Some(g) = j.group() {
+                *counts.entry(g).or_insert(0) += 1;
+            }
+        }
+        groups
+            .into_iter()
+            .filter(|(g, (_, len))| *len > batch_len && counts.get(g).copied().unwrap_or(0) >= 2)
+            .map(|(g, (first, len))| (g, jobs[first].prompt()[..len].to_vec()))
+            .collect()
+    }
+}
+
+/// Record the batch's cache activity in the global metrics registry.
+fn publish_cache_metrics(before: &CacheStats, after: &CacheStats) {
+    astro_telemetry::counter("serve.prefix.hits").add(after.hits - before.hits);
+    astro_telemetry::counter("serve.prefix.misses").add(after.misses - before.misses);
+    astro_telemetry::counter("serve.tokens.saved").add(after.tokens_reused - before.tokens_reused);
+    astro_telemetry::counter("serve.cache.evictions").add(after.evictions - before.evictions);
+    astro_telemetry::gauge("serve.cache.resident_bytes").set(after.resident_bytes as i64);
+}
+
+/// Execute one job in the worker's reusable sessions.
+fn run_job(
+    params: &Params,
+    cache: Option<&Mutex<PrefixCache>>,
+    anchors: &HashMap<u64, Vec<u32>>,
+    state: &mut WorkerState,
+    job: &Job,
+) -> Result<Outcome, SessionError> {
+    let prompt = job.prompt();
+    assert!(!prompt.is_empty(), "engine jobs require a non-empty prompt");
+
+    // Fork the deepest cached ancestor (or start fresh).
+    let depth = match cache {
+        Some(c) => {
+            let (_token, mut guard) = lock_cache(c);
+            guard.fork_into(&mut state.sess, prompt)
+        }
+        None => {
+            state.sess.reset();
+            0
+        }
+    };
+    let mut fed = depth;
+
+    // Feed to the group-anchor boundary and snapshot it for the rest of
+    // the group. Raced inserts are idempotent (`insert` refuses
+    // duplicates), so whichever worker crosses first wins.
+    if let (Some(c), Some(anchor)) = (cache, job.group().and_then(|g| anchors.get(&g))) {
+        if anchor.len() > fed
+            && anchor.len() <= prompt.len()
+            && prompt[..anchor.len()] == anchor[..]
+        {
+            while fed < anchor.len() {
+                state.sess.try_feed(params, prompt[fed])?;
+                fed += 1;
+            }
+            let (_token, mut guard) = lock_cache(c);
+            if !guard.has_snapshot(anchor) {
+                guard.insert(anchor, &state.sess, false);
+            }
+        }
+    }
+
+    // Encode the unshared tail.
+    while fed < prompt.len() {
+        state.sess.try_feed(params, prompt[fed])?;
+        fed += 1;
+    }
+    astro_telemetry::counter("serve.tokens.encoded").add((prompt.len() - depth) as u64);
+
+    match job {
+        Job::Score(j) => {
+            let scores = match &j.readout {
+                ScoreReadout::ContinuationGroups(groups) => groups
+                    .iter()
+                    .map(|variants| {
+                        let mut s = f32::NEG_INFINITY;
+                        for cont in variants {
+                            s = s.max(continuation_loglik(params, &state.sess, &mut state.fork, cont));
+                        }
+                        s
+                    })
+                    .collect(),
+                ScoreReadout::LogitGroups(groups) => {
+                    let logits = state.sess.last_logits();
+                    groups
+                        .iter()
+                        .map(|ids| {
+                            ids.iter().fold(f32::NEG_INFINITY, |acc, &id| {
+                                acc.max(logits[id as usize])
+                            })
+                        })
+                        .collect()
+                }
+            };
+            Ok(Outcome::Scores(scores))
+        }
+        Job::Generate(j) => {
+            let mut rng = j.rng.clone();
+            let mut logits = state.sess.last_logits().to_vec();
+            let mut generated: Vec<u32> = Vec::with_capacity(j.max_new);
+            for _ in 0..j.max_new {
+                if state.sess.remaining() == 0 {
+                    break;
+                }
+                let next = sample_logits(&logits, &j.sampler, &mut rng) as u32;
+                if j.stop.contains(&next) {
+                    break;
+                }
+                generated.push(next);
+                logits = state.sess.feed(params, next).to_vec();
+            }
+            Ok(Outcome::Tokens(generated))
+        }
+    }
+}
+
+/// Length-normalised log-likelihood of `continuation` from a fork of
+/// `sess`, written into the reusable `fork` scratch session. Replicates
+/// the serial reference (`astro-eval`'s `continuation_loglik`) operation
+/// for operation: same f64 accumulation, same early-stop on a full cache,
+/// same `-inf` conventions — the parity suite diffs the two bitwise.
+fn continuation_loglik(
+    params: &Params,
+    sess: &InferenceSession,
+    fork: &mut InferenceSession,
+    continuation: &[u32],
+) -> f32 {
+    if continuation.is_empty() {
+        return f32::NEG_INFINITY;
+    }
+    fork.assign_from(sess);
+    let mut ll = 0.0f64;
+    let mut counted = 0usize;
+    for &tok in continuation {
+        if fork.remaining() == 0 {
+            break;
+        }
+        let logits = fork.last_logits();
+        let lse = astro_tensor::ops::log_sum_exp(logits);
+        ll += (logits[tok as usize] - lse) as f64;
+        counted += 1;
+        fork.feed(params, tok);
+    }
+    if counted == 0 {
+        return f32::NEG_INFINITY;
+    }
+    (ll / counted as f64) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astro_model::ModelConfig;
+
+    fn setup() -> (ModelConfig, Params) {
+        let cfg = ModelConfig::tiny(24);
+        let p = Params::init(cfg, &mut Rng::seed_from(11));
+        (cfg, p)
+    }
+
+    /// Serial reference for one ContinuationGroups job, fresh sessions
+    /// everywhere.
+    fn reference_scores(cfg: ModelConfig, p: &Params, prompt: &[u32], groups: &[Vec<Vec<u32>>]) -> Vec<f32> {
+        let mut sess = InferenceSession::new(cfg);
+        for &t in prompt {
+            sess.feed(p, t);
+        }
+        let mut fork = InferenceSession::new(cfg);
+        groups
+            .iter()
+            .map(|variants| {
+                let mut s = f32::NEG_INFINITY;
+                for cont in variants {
+                    s = s.max(continuation_loglik(p, &sess, &mut fork, cont));
+                }
+                s
+            })
+            .collect()
+    }
+
+    fn jobs_for(prompts: &[&[u32]], groups: &[Vec<Vec<u32>>]) -> Vec<ScoreJob> {
+        prompts
+            .iter()
+            .map(|p| ScoreJob {
+                prompt: p.to_vec(),
+                group: Some(p[0] as u64),
+                readout: ScoreReadout::ContinuationGroups(groups.to_vec()),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pooled_cached_matches_serial_uncached_bitwise() {
+        let (cfg, p) = setup();
+        let groups: Vec<Vec<Vec<u32>>> =
+            vec![vec![vec![1, 2], vec![3]], vec![vec![4]], vec![vec![]], vec![vec![5, 6, 7]]];
+        // Shared preamble [9, 8, 7], then article-ish middles, then tails.
+        let prompts: Vec<Vec<u32>> = vec![
+            vec![9, 8, 7, 1, 1, 2],
+            vec![9, 8, 7, 1, 1, 3],
+            vec![9, 8, 7, 2, 5, 5],
+            vec![9, 8, 7, 2, 5, 6],
+            vec![9, 8, 7, 3, 0],
+        ];
+        let prompt_refs: Vec<&[u32]> = prompts.iter().map(|p| p.as_slice()).collect();
+        let expected: Vec<Vec<f32>> = prompts
+            .iter()
+            .map(|pr| reference_scores(cfg, &p, pr, &groups))
+            .collect();
+        for engine_cfg in [
+            EngineConfig::serial(),
+            EngineConfig { parallelism: 1, prefix_cache: true, max_cache_bytes: 0 },
+            EngineConfig::pooled_with(2),
+            EngineConfig::pooled_with(4),
+        ] {
+            let engine = EvalEngine::new(engine_cfg, &p);
+            let got = engine.score_batch(jobs_for(&prompt_refs, &groups));
+            for (g, e) in got.iter().zip(expected.iter()) {
+                assert_eq!(g.as_ref().ok(), Some(e), "config {engine_cfg:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_cache_records_hits_and_saved_tokens() {
+        let (_cfg, p) = setup();
+        let groups: Vec<Vec<Vec<u32>>> = vec![vec![vec![1]]];
+        let prompts: Vec<Vec<u32>> = (0..6).map(|i| vec![9, 8, 7, 6, i as u32]).collect();
+        let prompt_refs: Vec<&[u32]> = prompts.iter().map(|p| p.as_slice()).collect();
+        let engine = EvalEngine::new(
+            EngineConfig { parallelism: 1, prefix_cache: true, max_cache_bytes: 0 },
+            &p,
+        );
+        let _ = engine.score_batch(jobs_for(&prompt_refs, &groups));
+        let stats = engine.cache_stats();
+        assert!(stats.hits >= 5, "hits {}", stats.hits);
+        assert!(stats.tokens_reused >= 5 * 4, "reused {}", stats.tokens_reused);
+        assert!(stats.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn overlong_prompt_fails_that_job_only() {
+        let (cfg, p) = setup();
+        let long = vec![1u32; cfg.max_seq + 4];
+        let jobs = vec![
+            ScoreJob {
+                prompt: vec![9, 8, 7],
+                group: None,
+                readout: ScoreReadout::LogitGroups(vec![vec![1], vec![2], vec![3], vec![]]),
+            },
+            ScoreJob {
+                prompt: long,
+                group: None,
+                readout: ScoreReadout::LogitGroups(vec![vec![1]]),
+            },
+        ];
+        let engine = EvalEngine::new(EngineConfig::pooled_with(2), &p);
+        let got = engine.score_batch(jobs);
+        assert!(got[0].is_ok());
+        match &got[1] {
+            Err(SessionError::CacheFull { max_seq, .. }) => assert_eq!(*max_seq, cfg.max_seq),
+            other => panic!("expected CacheFull, got {other:?}"),
+        }
+        // Empty logit group scores -inf.
+        let ok = got[0].as_ref().ok().cloned().unwrap_or_default();
+        assert_eq!(ok[3], f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn generation_matches_fresh_session_greedy() {
+        let (cfg, p) = setup();
+        let prompt = vec![3u32, 1, 4, 1, 5];
+        // Fresh-session reference.
+        let mut sess = InferenceSession::new(cfg);
+        let mut logits = Vec::new();
+        for &t in &prompt {
+            logits = sess.feed(&p, t).to_vec();
+        }
+        let mut rng = Rng::seed_from(2);
+        let mut expect = Vec::new();
+        for _ in 0..6 {
+            if sess.remaining() == 0 {
+                break;
+            }
+            let next = sample_logits(&logits, &SamplerConfig::greedy(), &mut rng) as u32;
+            if next == 0 {
+                break;
+            }
+            expect.push(next);
+            logits = sess.feed(&p, next).to_vec();
+        }
+        // Engine, pooled + cached, duplicated jobs (one hits the cache).
+        let job = GenerateJob {
+            prompt: prompt.clone(),
+            group: Some(1),
+            max_new: 6,
+            sampler: SamplerConfig::greedy(),
+            rng: Rng::seed_from(2),
+            stop: vec![0],
+        };
+        let engine = EvalEngine::new(EngineConfig::pooled_with(2), &p);
+        let got = engine.generate_batch(vec![job.clone(), job]);
+        for r in got {
+            assert_eq!(r.ok().as_deref(), Some(expect.as_slice()));
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let (_cfg, p) = setup();
+        let engine = EvalEngine::new(EngineConfig::pooled(), &p);
+        assert!(engine.score_batch(Vec::new()).is_empty());
+        assert!(engine.generate_batch(Vec::new()).is_empty());
+        assert_eq!(engine.cache_stats().hits, 0);
+        assert!(engine.config().prefix_cache);
+    }
+}

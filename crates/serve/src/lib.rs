@@ -1,0 +1,133 @@
+//! Batched shared-prefix evaluation serving engine.
+//!
+//! Benchmark evaluation is embarrassingly parallel across questions, and
+//! its prompts are massively redundant: every question in a run shares the
+//! two-shot preamble, and questions about the same article share the
+//! article context too. This crate exploits both:
+//!
+//! * [`trie::PrefixCache`] — a radix trie of [`astro_model::InferenceSession`]
+//!   snapshots keyed by token prefix. Shared prefixes are encoded **once**;
+//!   later prompts fork the snapshot (`assign_from`, no allocation) and
+//!   only encode their unshared tail. Resident bytes are bounded by an LRU
+//!   eviction policy budgeted from [`astro_model::ModelConfig::session_bytes`].
+//! * [`engine::EvalEngine`] — fans a batch of scoring or generation jobs
+//!   across `astro_parallel::ThreadPool` workers, each with reusable
+//!   per-worker sessions, surfacing KV-cache overflow as a *per-job*
+//!   [`astro_model::SessionError`] instead of aborting the pool.
+//!
+//! # Determinism contract
+//!
+//! The engine is **bit-identical** to the serial reference path for every
+//! `(parallelism, prefix_cache)` setting: a session step reads only the
+//! model parameters, the KV rows for consumed positions and the fed token,
+//! and every scratch buffer is fully overwritten per step — so a forked
+//! snapshot continues exactly like a fresh session fed the same tokens.
+//! `tests/eval_parity.rs` (repo root) enforces this differentially and
+//! `docs/SERVING.md` walks through the argument.
+
+pub mod engine;
+pub mod trie;
+
+pub use engine::{EvalEngine, GenerateJob, ScoreJob, ScoreReadout};
+pub use trie::{CacheStats, PrefixCache};
+
+/// How a batch is executed. `Copy` so it can ride on the eval-config
+/// structs without breaking their `Copy` derives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads: `0` = auto (available parallelism, capped at 8),
+    /// `1` = in the calling thread, `n > 1` = a pool of `n` workers.
+    pub parallelism: usize,
+    /// Reuse shared-prefix session snapshots via the prefix-cache trie.
+    pub prefix_cache: bool,
+    /// Resident-byte budget for cached snapshots; `0` derives a default
+    /// from the model configuration (see [`trie::PrefixCache::new`]).
+    pub max_cache_bytes: usize,
+}
+
+impl EngineConfig {
+    /// The degenerate configuration: one worker, no caching. Semantically
+    /// (and bitwise) the serial reference path.
+    pub fn serial() -> Self {
+        EngineConfig {
+            parallelism: 1,
+            prefix_cache: false,
+            max_cache_bytes: 0,
+        }
+    }
+
+    /// The production configuration: auto-sized pool, prefix cache on.
+    pub fn pooled() -> Self {
+        EngineConfig {
+            parallelism: 0,
+            prefix_cache: true,
+            max_cache_bytes: 0,
+        }
+    }
+
+    /// A pool of exactly `n` workers with the prefix cache on.
+    pub fn pooled_with(n: usize) -> Self {
+        EngineConfig {
+            parallelism: n,
+            prefix_cache: true,
+            max_cache_bytes: 0,
+        }
+    }
+
+    /// The concrete worker count this configuration resolves to.
+    pub fn resolved_parallelism(&self) -> usize {
+        match self.parallelism {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8),
+            n => n,
+        }
+    }
+
+    /// True when this configuration adds nothing over the plain serial
+    /// loop (callers may keep their pre-engine code path for it).
+    pub fn is_serial_uncached(&self) -> bool {
+        self.parallelism == 1 && !self.prefix_cache
+    }
+}
+
+impl Default for EngineConfig {
+    /// Defaults to [`EngineConfig::serial`] so existing call sites keep
+    /// their exact pre-engine behaviour until they opt in.
+    fn default() -> Self {
+        EngineConfig::serial()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_serial_uncached() {
+        let c = EngineConfig::default();
+        assert!(c.is_serial_uncached());
+        assert_eq!(c.resolved_parallelism(), 1);
+        assert_eq!(c, EngineConfig::serial());
+    }
+
+    #[test]
+    fn pooled_resolves_to_at_least_one_worker() {
+        let c = EngineConfig::pooled();
+        assert!(c.resolved_parallelism() >= 1);
+        assert!(c.resolved_parallelism() <= 8);
+        assert!(!c.is_serial_uncached());
+        assert_eq!(EngineConfig::pooled_with(3).resolved_parallelism(), 3);
+    }
+
+    #[test]
+    fn serial_with_cache_is_not_degenerate() {
+        let c = EngineConfig {
+            parallelism: 1,
+            prefix_cache: true,
+            max_cache_bytes: 0,
+        };
+        assert!(!c.is_serial_uncached());
+    }
+}

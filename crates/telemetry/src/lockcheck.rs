@@ -27,14 +27,15 @@ pub struct LockRank {
 }
 
 /// The global lock hierarchy. Pool internals come first (they sit at the
-/// bottom of every call stack), device mailboxes next, telemetry
-/// registries and the JSONL sink last — so code holding a pool lock may
-/// still emit telemetry, but telemetry internals can never wait on the
-/// pool.
+/// bottom of every call stack), device mailboxes and the serving-engine
+/// prefix cache next, telemetry registries and the JSONL sink last — so
+/// code holding a pool or cache lock may still emit telemetry, but
+/// telemetry internals can never wait on the pool.
 pub const RANKS: &[LockRank] = &[
     LockRank { name: "parallel.pool.receiver", rank: 10 },
     LockRank { name: "parallel.pool.pending", rank: 12 },
     LockRank { name: "parallel.device.mailbox", rank: 14 },
+    LockRank { name: "serve.prefix_cache", rank: 16 },
     LockRank { name: "telemetry.metrics.registry", rank: 20 },
     LockRank { name: "telemetry.span.registry", rank: 22 },
     LockRank { name: "telemetry.sink", rank: 30 },
