@@ -279,18 +279,25 @@ fn find_cycle(edges: &[(String, String)]) -> Option<Vec<String>> {
 }
 
 /// Run the full static lock-order pass over `<root>/crates/parallel/src`,
-/// `<root>/crates/serve/src` and `<root>/crates/telemetry/src`.
+/// `<root>/crates/serve/src`, `<root>/crates/resilience/src` and
+/// `<root>/crates/telemetry/src`.
 pub fn analyze_locks(root: &Path) -> LockReport {
     let mut report = LockReport::default();
     let mut files = Vec::new();
-    for crate_dir in ["crates/parallel/src", "crates/serve/src", "crates/telemetry/src"] {
+    for crate_dir in [
+        "crates/parallel/src",
+        "crates/serve/src",
+        "crates/resilience/src",
+        "crates/telemetry/src",
+    ] {
         rust_files(&root.join(crate_dir), &mut files);
     }
     if files.is_empty() {
         report.diagnostics.push(Diagnostic::error(
             "locks.no-sources",
             &root.display().to_string(),
-            "no Rust sources found under crates/parallel, crates/serve or crates/telemetry"
+            "no Rust sources found under crates/parallel, crates/serve, crates/resilience \
+             or crates/telemetry"
                 .to_string(),
         ));
         return report;

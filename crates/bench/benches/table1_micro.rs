@@ -8,14 +8,14 @@ use astromlab::{Study, StudyConfig};
 
 fn main() {
     let mut group = Micro::new("study_pipeline");
-    group.bench("prepare_smoke", || Study::prepare(StudyConfig::smoke(42)));
+    group.bench("prepare_smoke", || Study::prepare(StudyConfig::smoke(42)).expect("prepare"));
 
-    let study = Study::prepare(StudyConfig::smoke(42));
+    let study = Study::prepare(StudyConfig::smoke(42)).expect("prepare");
     group.bench("pretrain_native_7b_smoke", || {
-        study.pretrain_native(astromlab::model::Tier::S7b)
+        study.pretrain_native(astromlab::model::Tier::S7b).expect("pretrain")
     });
 
-    let (native, _) = study.pretrain_native(astromlab::model::Tier::S7b);
+    let (native, _) = study.pretrain_native(astromlab::model::Tier::S7b).expect("pretrain");
     group.bench("eval_token_base_smoke", || {
         study.eval(&native, astromlab::eval::Method::TokenBase)
     });

@@ -14,9 +14,9 @@ use astromlab::Study;
 
 fn main() {
     let (config, run) = instrumented_run("ablation_data_quality");
-    let study = Study::prepare(config);
+    let study = Study::prepare(config).expect("prepare");
     info!("CPT'ing the 8B-class native through 4 noise channels ...");
-    let points = ablation_data_quality(&study);
+    let points = ablation_data_quality(&study).expect("ablation");
     println!(
         "\n{}",
         render_ablation(

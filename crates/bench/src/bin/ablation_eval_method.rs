@@ -12,9 +12,9 @@ use astromlab::Study;
 
 fn main() {
     let (config, run) = instrumented_run("ablation_eval_method");
-    let study = Study::prepare(config);
+    let study = Study::prepare(config).expect("prepare");
     info!("evaluating the 8B-class native under 4 token-method settings ...");
-    let points = ablation_eval_method(&study);
+    let points = ablation_eval_method(&study).expect("ablation");
     println!(
         "\n{}",
         render_ablation(

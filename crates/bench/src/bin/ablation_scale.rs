@@ -13,9 +13,9 @@ use astromlab::Study;
 
 fn main() {
     let (config, run) = instrumented_run("ablation_scale");
-    let study = Study::prepare(config);
+    let study = Study::prepare(config).expect("prepare");
     info!("pretraining + CPT'ing all three tiers ...");
-    let points = ablation_scale(&study);
+    let points = ablation_scale(&study).expect("ablation");
     println!(
         "\n{}",
         render_ablation(

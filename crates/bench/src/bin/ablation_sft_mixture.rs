@@ -14,9 +14,9 @@ use astromlab::Study;
 
 fn main() {
     let (config, run) = instrumented_run("ablation_sft_mixture");
-    let study = Study::prepare(config);
+    let study = Study::prepare(config).expect("prepare");
     info!("SFT'ing the 8B-class AIC model under 4 mixtures ...");
-    let points = ablation_sft_mixture(&study);
+    let points = ablation_sft_mixture(&study).expect("ablation");
     println!(
         "\n{}",
         render_ablation(

@@ -25,12 +25,12 @@ fn main() {
     config.n_eval_questions = 120;
     config.world.n_entities = n_entities;
     config.general_docs = general_docs;
-    let study = Study::prepare(config);
+    let study = Study::prepare(config).expect("prepare");
     astro_telemetry::info!(
         "world: {} facts | general stream: {} tokens | AIC stream: {} tokens | vocab {}",
         study.world.facts.len(),
         study.general_stream.len(),
-        study.cpt_stream(CorpusRecipe::Aic).len(),
+        study.cpt_stream(CorpusRecipe::Aic).expect("prepared").len(),
         study.tokenizer.vocab_size()
     );
 
@@ -62,7 +62,8 @@ fn main() {
             astromlab::train::BatchSource::Lm(&study.general_stream),
             &tc,
             &astromlab::prng::Rng::seed_from(1000 + done),
-        );
+        )
+        .expect("train");
         done += n;
         let score = study.eval(&params, Method::TokenBase);
         let (hl, _) = held_out_loss(&params, &study.general_stream, study.config.seq, 20);

@@ -18,13 +18,15 @@
 //!
 //! It then *asserts* the engine's contract and exits non-zero on any
 //! violation: per-question predictions and per-option score bits
-//! identical to serial, prefix-cache hit rate > 0, and pooled
-//! questions/sec at least 2x serial. Results land in
-//! `BENCH_eval_throughput.json` (self-validated against the repo's JSON
-//! parser) for future performance PRs to diff; docs/SERVING.md explains
-//! how to read them.
+//! identical to serial, prefix-cache hit rate > 0, pooled questions/sec
+//! at least 2x serial, and the disarmed fault-injection hooks (see
+//! docs/RESILIENCE.md) costing under 1% of pooled wall time. Results
+//! land in `BENCH_eval_throughput.json` (self-validated against the
+//! repo's JSON parser) for future performance PRs to diff;
+//! docs/SERVING.md explains how to read them.
 
 use astro_bench::{instrumented_run, JsonObject};
+use astro_resilience::fault;
 use astro_telemetry::{counter, info};
 use astromlab::eval::{token_method_outcomes, EvalModel, TokenEvalConfig, TokenOutcome};
 use astromlab::model::{Params, Tier};
@@ -73,7 +75,7 @@ fn parity_failure(serial: &[TokenOutcome], pooled: &[TokenOutcome]) -> Option<St
 
 fn main() {
     let (config, mut run) = instrumented_run("eval_throughput");
-    let study = Study::prepare(config);
+    let study = Study::prepare(config).expect("prepare");
     let params = Params::init(
         study.model_config(Tier::S7b),
         &mut Rng::seed_from(study.config.seed),
@@ -120,6 +122,28 @@ fn main() {
          {encoded} tokens encoded, {saved} saved, {evictions} evictions"
     );
 
+    // Disarmed fault hooks must be free: measure the fast path directly
+    // (one relaxed atomic load when no plan is installed), then model its
+    // cost against the pooled run with a deliberately generous crossing
+    // count — two hook crossings per encoded token plus two per job.
+    fault::clear();
+    let iters: u64 = 2_000_000;
+    let t = std::time::Instant::now();
+    let mut armed = 0u64;
+    for _ in 0..iters {
+        if std::hint::black_box(fault::should_fault(std::hint::black_box("serve.cache_full"))) {
+            armed += 1;
+        }
+    }
+    let hook_per_call = t.elapsed().as_secs_f64() / iters as f64;
+    let hook_crossings = 2.0 * encoded as f64 + 2.0 * n as f64;
+    let hook_overhead_pct = 100.0 * hook_per_call * hook_crossings / pooled_wall;
+    info!(
+        "fault hooks (disarmed): {:.2}ns/call, modelled {hook_crossings:.0} crossings \
+         = {hook_overhead_pct:.4}% of pooled wall",
+        hook_per_call * 1e9
+    );
+
     let parity = parity_failure(&serial, &pooled);
     let mut obj = JsonObject::new();
     obj.str("bench", "eval_throughput")
@@ -141,6 +165,8 @@ fn main() {
         .num("tokens_encoded", encoded as f64)
         .num("tokens_saved", saved as f64)
         .num("cache_evictions", evictions as f64)
+        .num("fault_hook_ns_per_call", hook_per_call * 1e9)
+        .num("fault_hook_overhead_pct", hook_overhead_pct)
         .str("parity", if parity.is_none() { "bitwise" } else { "FAILED" });
     let json = obj.finish();
     // The output must stay parseable by the repo's own JSON subset.
@@ -166,6 +192,14 @@ fn main() {
     }
     if speedup < 2.0 {
         failures.push(format!("pooled must be >= 2x serial, got {speedup:.2}x"));
+    }
+    if armed != 0 {
+        failures.push(format!("disarmed fault hook reported armed {armed} times"));
+    }
+    if hook_overhead_pct >= 1.0 {
+        failures.push(format!(
+            "disarmed fault hooks must cost < 1% of pooled wall, got {hook_overhead_pct:.3}%"
+        ));
     }
     if !failures.is_empty() {
         for f in &failures {

@@ -15,9 +15,9 @@ use astromlab::{ModelId, Study};
 
 fn main() {
     let (config, run) = instrumented_run("figure1");
-    let study = Study::prepare(config);
+    let study = Study::prepare(config).expect("prepare");
     info!("training + evaluating the 8-model zoo ...");
-    let result = study.run_table1();
+    let result = study.run_table1().expect("run_table1");
 
     // Flagship context (paper §VI): noisy calibrated oracles scored on the
     // same evaluation subset.

@@ -24,7 +24,7 @@ use astromlab::Study;
 fn main() {
     let (config, run) = instrumented_run("forgetting_curves");
     let seq = config.seq;
-    let study = Study::prepare(config);
+    let study = Study::prepare(config).expect("prepare");
     let windows = 40;
 
     println!("\n=== E1b: held-out loss before/after CPT (AIC recipe) ===\n");
@@ -35,11 +35,11 @@ fn main() {
     println!("{}", "-".repeat(94));
     let mut forgetting = Vec::new();
     for tier in [Tier::S7b, Tier::S8b, Tier::S70b] {
-        let (native, _) = study.pretrain_native(tier);
-        let (cpt, _) = study.cpt(&native, CorpusRecipe::Aic);
+        let (native, _) = study.pretrain_native(tier).expect("pretrain");
+        let (cpt, _) = study.cpt(&native, CorpusRecipe::Aic).expect("cpt");
         let (gen_pre, _) = held_out_loss(&native, &study.general_stream, seq, windows);
         let (gen_post, _) = held_out_loss(&cpt, &study.general_stream, seq, windows);
-        let astro_stream = study.cpt_stream(CorpusRecipe::Aic);
+        let astro_stream = study.cpt_stream(CorpusRecipe::Aic).expect("prepared");
         let (astro_pre, _) = held_out_loss(&native, astro_stream, seq, windows);
         let (astro_post, _) = held_out_loss(&cpt, astro_stream, seq, windows);
         let forget = gen_post - gen_pre;

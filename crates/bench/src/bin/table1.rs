@@ -24,7 +24,7 @@ use astromlab::{ModelId, Study};
 fn main() {
     let (config, mut run) = instrumented_run("table1");
     let start = std::time::Instant::now();
-    let study = Study::prepare(config);
+    let study = Study::prepare(config).expect("prepare");
     info!(
         "world: {} articles / {} facts | benchmark: {} MCQs | eval subset: {}",
         study.world.articles.len(),
@@ -33,7 +33,7 @@ fn main() {
         study.config.n_eval_questions
     );
     info!("training 3 natives + 5 CPT variants + 7 instruct models ...");
-    let result = study.run_table1();
+    let result = study.run_table1().expect("run_table1");
 
     println!("\n=== Table I (measured, this reproduction) ===\n");
     println!("{}", result.table1);

@@ -24,11 +24,12 @@ fn parse_preset(binary: &str) -> (String, StudyConfig) {
     let preset = args.get(1).map(|s| s.as_str()).unwrap_or("fast");
     let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
     let config = match preset {
+        "micro" => StudyConfig::micro(seed),
         "smoke" => StudyConfig::smoke(seed),
         "fast" => StudyConfig::fast(seed),
         "full" => StudyConfig::full(seed),
         other => {
-            astro_telemetry::info!("{binary}: unknown preset {other:?}; use smoke|fast|full");
+            astro_telemetry::info!("{binary}: unknown preset {other:?}; use micro|smoke|fast|full");
             std::process::exit(2);
         }
     };

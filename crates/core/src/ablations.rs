@@ -3,7 +3,7 @@
 //! Each ablation reuses a prepared [`Study`] so the world, tokenizer and
 //! benchmark stay fixed while one factor varies.
 
-use crate::study::Study;
+use crate::study::{Study, StudyError};
 use crate::zoo::ModelId;
 use astro_eval::{evaluate, EvalModel, InstructEvalConfig, Method, TokenEvalConfig};
 use astro_model::Tier;
@@ -35,8 +35,8 @@ pub struct AblationPoint {
 type NoiseChannel = Box<dyn Fn(&str, &mut Rng) -> String>;
 
 /// A1: CPT on progressively noisier corpora (Table 3's data-quality axis).
-pub fn ablation_data_quality(study: &Study) -> Vec<AblationPoint> {
-    let (native, _) = study.pretrain_native(Tier::S8b);
+pub fn ablation_data_quality(study: &Study) -> Result<Vec<AblationPoint>, StudyError> {
+    let (native, _) = study.pretrain_native(Tier::S8b)?;
     let channels: [(&str, NoiseChannel); 4] = [
         ("clean", Box::new(|s: &str, _: &mut Rng| s.to_string())),
         (
@@ -79,7 +79,9 @@ pub fn ablation_data_quality(study: &Study) -> Vec<AblationPoint> {
             steps: study.config.cpt_steps,
             ..Default::default()
         };
-        train_lm(&mut params, BatchSource::Lm(&stream), &tc, &rng);
+        train_lm(&mut params, BatchSource::Lm(&stream), &tc, &rng).map_err(|e| {
+            StudyError::Train { stage: format!("ablation-dq-{label}"), source: e }
+        })?;
         let score = study.eval(&params, Method::TokenBase).percent();
         out.push(AblationPoint {
             label: label.to_string(),
@@ -87,7 +89,7 @@ pub fn ablation_data_quality(study: &Study) -> Vec<AblationPoint> {
             secondary: f64::NAN,
         });
     }
-    out
+    Ok(out)
 }
 
 /// A2 — SFT mixture: astronomy fraction and dataset size. SFTs the
@@ -95,9 +97,9 @@ pub fn ablation_data_quality(study: &Study) -> Vec<AblationPoint> {
 /// (primary) and token-instruct (secondary) scores — probing the paper's
 /// conclusion that the small, non-astronomy mixture is what breaks the
 /// instruct models.
-pub fn ablation_sft_mixture(study: &Study) -> Vec<AblationPoint> {
-    let (native, _) = study.pretrain_native(Tier::S8b);
-    let (base, _) = study.cpt(&native, CorpusRecipe::Aic);
+pub fn ablation_sft_mixture(study: &Study) -> Result<Vec<AblationPoint>, StudyError> {
+    let (native, _) = study.pretrain_native(Tier::S8b)?;
+    let (base, _) = study.cpt(&native, CorpusRecipe::Aic)?;
     let total = SftMixtureConfig::paper_mixture(study.config.sft_scale).total();
     let settings: [(&str, f64, usize); 4] = [
         ("astro 0% (general only)", 0.0, total),
@@ -118,7 +120,9 @@ pub fn ablation_sft_mixture(study: &Study) -> Vec<AblationPoint> {
         };
         let mut rng = Rng::seed_from(study.config.seed).substream(&format!("abl-sft-{label}"));
         let convs = sft_dataset(&study.world, &mixture, &mut rng);
-        let examples = render_conversations(&study.tokenizer, &convs);
+        let examples = render_conversations(&study.tokenizer, &convs).map_err(|e| {
+            StudyError::Train { stage: format!("ablation-sft-{label}"), source: e }
+        })?;
         let mut params = base.clone();
         let tc = astro_train::TrainerConfig {
             lr: study.config.sft_lr,
@@ -132,7 +136,8 @@ pub fn ablation_sft_mixture(study: &Study) -> Vec<AblationPoint> {
             BatchSource::Sft(&examples, study.tokenizer.pad()),
             &tc,
             &rng,
-        );
+        )
+        .map_err(|e| StudyError::Train { stage: format!("ablation-sft-{label}"), source: e })?;
         let full = study.eval(&params, Method::FullInstruct).percent();
         let token = study.eval(&params, Method::TokenInstruct).percent();
         out.push(AblationPoint {
@@ -141,17 +146,17 @@ pub fn ablation_sft_mixture(study: &Study) -> Vec<AblationPoint> {
             secondary: token,
         });
     }
-    out
+    Ok(out)
 }
 
 /// A3 — capacity sweep: native vs CPT-AIC token-base scores per tier, the
 /// paper's central forgetting-vs-gain contrast. `score` is the native
 /// model, `secondary` the CPT'd model.
-pub fn ablation_scale(study: &Study) -> Vec<AblationPoint> {
+pub fn ablation_scale(study: &Study) -> Result<Vec<AblationPoint>, StudyError> {
     let mut out = Vec::new();
     for tier in [Tier::S7b, Tier::S8b, Tier::S70b] {
-        let (native, _) = study.pretrain_native(tier);
-        let (cpt, _) = study.cpt(&native, CorpusRecipe::Aic);
+        let (native, _) = study.pretrain_native(tier)?;
+        let (cpt, _) = study.cpt(&native, CorpusRecipe::Aic)?;
         let native_score = study.eval(&native, Method::TokenBase).percent();
         let cpt_score = study.eval(&cpt, Method::TokenBase).percent();
         out.push(AblationPoint {
@@ -160,7 +165,7 @@ pub fn ablation_scale(study: &Study) -> Vec<AblationPoint> {
             secondary: cpt_score,
         });
     }
-    out
+    Ok(out)
 }
 
 /// A4 — evaluation-method options on one fixed model (the 8B-class
@@ -168,9 +173,9 @@ pub fn ablation_scale(study: &Study) -> Vec<AblationPoint> {
 /// on/off (paper Appendix C's design choices), and the value-vs-letter
 /// answer readout (our documented substitution vs the paper's literal
 /// letter method).
-pub fn ablation_eval_method(study: &Study) -> Vec<AblationPoint> {
+pub fn ablation_eval_method(study: &Study) -> Result<Vec<AblationPoint>, StudyError> {
     use astro_eval::AnswerReadout;
-    let (native, _) = study.pretrain_native(Tier::S8b);
+    let (native, _) = study.pretrain_native(Tier::S8b)?;
     let model = EvalModel {
         params: &native,
         tokenizer: &study.tokenizer,
@@ -224,7 +229,7 @@ pub fn ablation_eval_method(study: &Study) -> Vec<AblationPoint> {
         ),
     ];
     let mut rng = Rng::seed_from(study.config.seed).substream("abl-eval");
-    settings
+    Ok(settings
         .into_iter()
         .map(|(label, cfg)| {
             let score = evaluate(
@@ -242,7 +247,7 @@ pub fn ablation_eval_method(study: &Study) -> Vec<AblationPoint> {
                 secondary: f64::NAN,
             }
         })
-        .collect()
+        .collect())
 }
 
 /// Render ablation points as a small text table.
@@ -298,8 +303,8 @@ mod tests {
 
     #[test]
     fn eval_method_ablation_runs_on_smoke_study() {
-        let study = Study::prepare(StudyConfig::smoke(23));
-        let pts = ablation_eval_method(&study);
+        let study = Study::prepare(StudyConfig::smoke(23)).expect("prepare");
+        let pts = ablation_eval_method(&study).expect("ablation");
         assert_eq!(pts.len(), 5);
         for p in &pts {
             assert!((0.0..=100.0).contains(&p.score), "{p:?}");
@@ -308,8 +313,8 @@ mod tests {
 
     #[test]
     fn scale_ablation_covers_three_tiers() {
-        let study = Study::prepare(StudyConfig::smoke(29));
-        let pts = ablation_scale(&study);
+        let study = Study::prepare(StudyConfig::smoke(29)).expect("prepare");
+        let pts = ablation_scale(&study).expect("ablation");
         assert_eq!(pts.len(), 3);
         assert!(pts[0].label.contains("7B"));
         assert!(pts[2].label.contains("70B"));

@@ -16,9 +16,17 @@
 //! ```no_run
 //! use astromlab::{Study, StudyConfig};
 //!
-//! let study = Study::prepare(StudyConfig::fast(42));
-//! let result = study.run_table1();
+//! # fn main() -> Result<(), astromlab::study::StudyError> {
+//! let study = Study::prepare(StudyConfig::fast(42))?;
+//! let result = study.run_table1()?;
 //! println!("{}", result.table1);
+//!
+//! // Or crash-safe: checkpoints + a run ledger under ./run, resumable
+//! // after an interruption with bitwise-identical scores.
+//! let resumable = study.run_study(std::path::Path::new("run"))?;
+//! assert_eq!(result.figure1_csv, resumable.figure1_csv);
+//! # Ok(())
+//! # }
 //! ```
 //!
 //! The [`ablations`] module adds the design-choice experiments indexed in
@@ -31,7 +39,7 @@ pub mod study;
 pub mod zoo;
 
 pub use presets::StudyConfig;
-pub use study::{ModelArtifacts, Study, StudyResult};
+pub use study::{ModelArtifacts, Study, StudyError, StudyResult};
 pub use zoo::ModelId;
 
 // Re-export the substrate crates so downstream users need one dependency.

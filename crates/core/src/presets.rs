@@ -91,6 +91,20 @@ impl StudyConfig {
         }
     }
 
+    /// Sub-second preset for the chaos suite: the smallest configuration
+    /// that still exercises every stage of [`crate::Study::run_study`]
+    /// (all tiers, all recipes, all three eval methods), so
+    /// kill-at-every-ledger-boundary sweeps stay affordable.
+    pub fn micro(seed: u64) -> Self {
+        StudyConfig {
+            native_steps: [2, 2, 2],
+            cpt_steps: 2,
+            sft_steps: 2,
+            n_eval_questions: 6,
+            ..StudyConfig::smoke(seed)
+        }
+    }
+
     /// Minutes-scale preset (default for the bench binaries).
     pub fn fast(seed: u64) -> Self {
         StudyConfig {
@@ -207,12 +221,27 @@ mod tests {
 
     #[test]
     fn presets_scale_monotonically() {
+        let m = StudyConfig::micro(1);
         let s = StudyConfig::smoke(1);
         let f = StudyConfig::fast(1);
         let u = StudyConfig::full(1);
+        assert!(m.cpt_steps < s.cpt_steps);
         assert!(s.cpt_steps < f.cpt_steps && f.cpt_steps < u.cpt_steps);
+        assert!(m.n_eval_questions < s.n_eval_questions);
         assert!(s.n_eval_questions < f.n_eval_questions);
         assert!(f.n_eval_questions < u.n_eval_questions);
+    }
+
+    #[test]
+    fn all_presets_validate() {
+        for cfg in [
+            StudyConfig::micro(3),
+            StudyConfig::smoke(3),
+            StudyConfig::fast(3),
+            StudyConfig::full(3),
+        ] {
+            assert_eq!(cfg.validate(), Ok(()));
+        }
     }
 
     #[test]

@@ -1,21 +1,110 @@
 //! The end-to-end study pipeline (paper §III–§VI).
+//!
+//! Two entry points produce the same numbers:
+//!
+//! * [`Study::run_table1`] — everything in memory, no artifacts;
+//! * [`Study::run_study`] — the crash-safe variant: every trained model is
+//!   saved as an atomic checkpoint, every score appended to a run ledger,
+//!   and a re-run after an interruption resumes from the last durable
+//!   artifact and reproduces the remaining stages bit-for-bit (see
+//!   `docs/RESILIENCE.md`).
 
 use crate::presets::StudyConfig;
 use crate::zoo::ModelId;
+use astro_eval::json::Json;
 use astro_eval::report::{render_figure1, render_table1, ModelRow};
 use astro_eval::{
-    evaluate, EvalModel, InstructEvalConfig, Method, Score, TokenEvalConfig,
+    evaluate, evaluate_checked, EvalFailure, EvalModel, InstructEvalConfig, Method, Score,
+    TokenEvalConfig,
 };
 use astro_mcq::{Mcq, McqConfig, McqDataset};
-use astro_model::{ModelConfig, Params, Tier};
+use astro_model::serial::save_checkpoint;
+use astro_model::{CkptError, ModelConfig, Params, Tier};
 use astro_prng::Rng;
+use astro_resilience::{fault, fnv64, Journal, RetryPolicy};
 use astro_tokenizer::{train_bpe, BpeTrainerConfig, Tokenizer};
 use astro_train::{
     pack_documents, render_conversations, train_lm, BatchSource, SftExample, TokenStream,
-    TrainReport, TrainerConfig,
+    TrainError, TrainReport, TrainerConfig,
 };
 use astro_world::{cpt_corpus, general_corpus, sft_dataset, CorpusRecipe, SftMixtureConfig, World};
 use std::collections::HashMap;
+use std::path::Path;
+
+/// Why a study stage could not complete. Every failure on the study path
+/// is typed: callers can distinguish a bad configuration from a training
+/// divergence, a corrupt checkpoint, an exhausted eval retry budget or an
+/// injected interruption, and decide to resume.
+#[derive(Debug)]
+pub enum StudyError {
+    /// The configuration failed [`StudyConfig::validate`].
+    InvalidConfig(String),
+    /// Training failed (divergence, bad trainer config, unknown role).
+    Train {
+        /// Stage label, e.g. `cpt-AstroLLaMA-2-7B-AIC`.
+        stage: String,
+        /// The underlying trainer error.
+        source: TrainError,
+    },
+    /// A checkpoint could not be written or read back.
+    Ckpt {
+        /// Filesystem path of the offending checkpoint.
+        path: String,
+        /// The underlying checkpoint error.
+        source: CkptError,
+    },
+    /// The run ledger is unusable (unparseable line, or it belongs to a
+    /// different study configuration).
+    Ledger(String),
+    /// Evaluation kept failing after bounded retries.
+    Eval {
+        /// Stage label, e.g. `eval-LLaMA-3-8B-token_base`.
+        stage: String,
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The last failure.
+        failure: EvalFailure,
+    },
+    /// An injected `study.stage_boundary` fault fired — the simulated
+    /// crash used by the chaos suite to exercise resume.
+    Interrupted {
+        /// The fault site that fired.
+        site: &'static str,
+        /// The stage whose boundary was interrupted.
+        stage: String,
+    },
+    /// Ledger or filesystem I/O failed.
+    Io(String),
+}
+
+impl std::fmt::Display for StudyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StudyError::InvalidConfig(msg) => write!(f, "invalid StudyConfig: {msg}"),
+            StudyError::Train { stage, source } => write!(f, "training failed at {stage}: {source}"),
+            StudyError::Ckpt { path, source } => write!(f, "checkpoint {path}: {source}"),
+            StudyError::Ledger(msg) => write!(f, "run ledger: {msg}"),
+            StudyError::Eval { stage, attempts, failure } => {
+                write!(f, "evaluation {stage} failed after {attempts} attempts: {failure}")
+            }
+            StudyError::Interrupted { site, stage } => {
+                write!(f, "interrupted by injected fault {site} at stage {stage}")
+            }
+            StudyError::Io(msg) => write!(f, "study I/O: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StudyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StudyError::Train { source, .. } => Some(source),
+            StudyError::Ckpt { source, .. } => Some(source),
+            StudyError::Eval { failure, .. } => Some(failure),
+            _ => None,
+        }
+    }
+}
 
 /// Tier index into per-tier arrays.
 fn tier_idx(tier: Tier) -> usize {
@@ -89,10 +178,9 @@ impl StudyResult {
 impl Study {
     /// Generate the world, train the tokenizer, build the benchmark and
     /// pack every corpus.
-    pub fn prepare(config: StudyConfig) -> Study {
+    pub fn prepare(config: StudyConfig) -> Result<Study, StudyError> {
         let _span = astro_telemetry::span!("study.prepare", seed = config.seed);
-        let valid = config.validate();
-        assert!(valid.is_ok(), "invalid StudyConfig: {}", valid.unwrap_err());
+        config.validate().map_err(StudyError::InvalidConfig)?;
         astro_telemetry::info!(
             "prepare: world + tokenizer + benchmark (seed {})",
             config.seed
@@ -131,7 +219,7 @@ impl Study {
             .collect();
         for rel in astro_world::RELATIONS {
             for v in rel.values() {
-                let head = v.split(' ').next().expect("non-empty value");
+                let head = v.split(' ').next().unwrap_or(v);
                 ensure.push(format!(" {head}"));
             }
         }
@@ -167,9 +255,11 @@ impl Study {
         let mut mixture = SftMixtureConfig::paper_mixture(config.sft_scale);
         mixture.astro_json_fraction = config.sft_json_fraction;
         let convs = sft_dataset(&world, &mixture, &mut sft_rng);
-        let sft_examples = render_conversations(&tokenizer, &convs);
+        let sft_examples = render_conversations(&tokenizer, &convs).map_err(|e| {
+            StudyError::Train { stage: "prepare.sft-render".to_string(), source: e }
+        })?;
 
-        Study {
+        Ok(Study {
             config,
             world,
             tokenizer,
@@ -178,17 +268,13 @@ impl Study {
             cpt_streams,
             sft_examples,
             root,
-        }
+        })
     }
 
-    /// The packed CPT stream for a recipe.
-    pub fn cpt_stream(&self, recipe: CorpusRecipe) -> &TokenStream {
-        &self
-            .cpt_streams
-            .iter()
-            .find(|(r, _)| *r == recipe)
-            .expect("all recipes prepared")
-            .1
+    /// The packed CPT stream for a recipe. `None` only for a recipe that
+    /// [`Study::prepare`] did not pack (it packs all three).
+    pub fn cpt_stream(&self, recipe: CorpusRecipe) -> Option<&TokenStream> {
+        self.cpt_streams.iter().find(|(r, _)| *r == recipe).map(|(_, s)| s)
     }
 
     /// Model configuration for a tier under this study's tokenizer.
@@ -213,7 +299,7 @@ impl Study {
     }
 
     /// Pretrain one native model on the general corpus.
-    pub fn pretrain_native(&self, tier: Tier) -> (Params, TrainReport) {
+    pub fn pretrain_native(&self, tier: Tier) -> Result<(Params, TrainReport), StudyError> {
         let span = astro_telemetry::span!("study.pretrain_native", tier = tier.label());
         astro_telemetry::info!("pretrain_native: tier {}", tier.label());
         let cfg = self.model_config(tier);
@@ -225,29 +311,40 @@ impl Study {
             BatchSource::Lm(&self.general_stream),
             &tc,
             &self.root.substream_idx("native-train", tier_idx(tier) as u64),
-        );
+        )
+        .map_err(|e| StudyError::Train {
+            stage: format!("pretrain-native-{}", tier.label()),
+            source: e,
+        })?;
         span.record_f64("tokens", report.tokens_processed as f64);
-        (params, report)
+        Ok((params, report))
     }
 
     /// Continually pretrain a base model on a recipe corpus (paper §III).
-    pub fn cpt(&self, base: &Params, recipe: CorpusRecipe) -> (Params, TrainReport) {
+    pub fn cpt(&self, base: &Params, recipe: CorpusRecipe) -> Result<(Params, TrainReport), StudyError> {
         let span = astro_telemetry::span!("study.cpt", recipe = recipe.label());
         astro_telemetry::info!("cpt: recipe {}", recipe.label());
+        let stream = self.cpt_stream(recipe).ok_or_else(|| {
+            StudyError::InvalidConfig(format!("no packed corpus for recipe {}", recipe.label()))
+        })?;
         let mut params = base.clone();
         let tc = self.trainer_config(self.config.cpt_steps, self.config.cpt_lr);
         let report = train_lm(
             &mut params,
-            BatchSource::Lm(self.cpt_stream(recipe)),
+            BatchSource::Lm(stream),
             &tc,
             &self.root.substream(&format!("cpt-{}", recipe.label())),
-        );
+        )
+        .map_err(|e| StudyError::Train {
+            stage: format!("cpt-{}", recipe.label()),
+            source: e,
+        })?;
         span.record_f64("tokens", report.tokens_processed as f64);
-        (params, report)
+        Ok((params, report))
     }
 
     /// SFT a base model into an instruct model.
-    pub fn sft(&self, base: &Params, label: &str) -> (Params, TrainReport) {
+    pub fn sft(&self, base: &Params, label: &str) -> Result<(Params, TrainReport), StudyError> {
         let span = astro_telemetry::span!("study.sft", model = label);
         astro_telemetry::info!("sft: {label}");
         let mut params = base.clone();
@@ -257,9 +354,10 @@ impl Study {
             BatchSource::Sft(&self.sft_examples, self.tokenizer.pad()),
             &tc,
             &self.root.substream(&format!("sft-{label}")),
-        );
+        )
+        .map_err(|e| StudyError::Train { stage: format!("sft-{label}"), source: e })?;
         span.record_f64("tokens", report.tokens_processed as f64);
-        (params, report)
+        Ok((params, report))
     }
 
     /// The deterministic evaluation subset.
@@ -329,14 +427,43 @@ impl Study {
         )
     }
 
+    /// Like [`Study::eval`], but transient engine failures (worker panics,
+    /// cache exhaustion that survives the uncached retry) surface as a
+    /// typed [`EvalFailure`] instead of being silently scored wrong. An
+    /// `Ok` score is bitwise identical to what [`Study::eval`] returns.
+    pub fn eval_checked(&self, params: &Params, method: Method) -> Result<Score, EvalFailure> {
+        let model = EvalModel {
+            params,
+            tokenizer: &self.tokenizer,
+        };
+        let questions = self.eval_questions();
+        let mut rng = self.root.substream("eval-run");
+        evaluate_checked(
+            &model,
+            &questions,
+            &self.mcq.exemplars,
+            method,
+            &TokenEvalConfig {
+                engine: self.config.eval_engine,
+                ..Default::default()
+            },
+            &InstructEvalConfig {
+                verbose_prompt: self.config.verbose_prompt,
+                engine: self.config.eval_engine,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+    }
+
     /// Train every model of the zoo (natives shared across their series).
-    pub fn build_artifacts(&self) -> HashMap<ModelId, ModelArtifacts> {
+    pub fn build_artifacts(&self) -> Result<HashMap<ModelId, ModelArtifacts>, StudyError> {
         let _span = astro_telemetry::span!("study.build_artifacts");
         let mut out = HashMap::new();
         // Natives per tier.
         let mut natives: HashMap<usize, Params> = HashMap::new();
         for tier in [Tier::S7b, Tier::S8b, Tier::S70b] {
-            let (p, _) = self.pretrain_native(tier);
+            let (p, _) = self.pretrain_native(tier)?;
             natives.insert(tier_idx(tier), p);
         }
         for id in ModelId::all() {
@@ -345,12 +472,12 @@ impl Study {
             let (base, cpt_report) = match id.recipe() {
                 None => (native.clone(), None),
                 Some(recipe) => {
-                    let (p, r) = self.cpt(native, recipe);
+                    let (p, r) = self.cpt(native, recipe)?;
                     (p, Some(r))
                 }
             };
             let (instruct, sft_report) = if id.has_instruct() {
-                let (p, r) = self.sft(&base, id.name());
+                let (p, r) = self.sft(&base, id.name())?;
                 (Some(p), Some(r))
             } else {
                 (None, None)
@@ -365,7 +492,7 @@ impl Study {
                 },
             );
         }
-        out
+        Ok(out)
     }
 
     /// Score prepared artifacts under the three methods.
@@ -403,28 +530,296 @@ impl Study {
     }
 
     /// The whole pipeline: train everything, evaluate everything.
-    pub fn run_table1(&self) -> StudyResult {
+    pub fn run_table1(&self) -> Result<StudyResult, StudyError> {
         let _span = astro_telemetry::span!("study.run_table1");
-        let artifacts = self.build_artifacts();
-        self.evaluate_artifacts(&artifacts)
+        let artifacts = self.build_artifacts()?;
+        Ok(self.evaluate_artifacts(&artifacts))
     }
+
+    /// The crash-safe pipeline: like [`Study::run_table1`] but every
+    /// trained model is saved as an atomic checkpoint under `dir` and
+    /// every completed stage is recorded in an fsync'd run ledger
+    /// (`dir/ledger.jsonl`). Re-running after an interruption (process
+    /// kill, injected fault) replays completed stages from the ledger and
+    /// resumes with the first missing one; because every stage draws its
+    /// randomness from a named substream of the root seed, a resumed run
+    /// produces bitwise-identical scores to an uninterrupted one.
+    pub fn run_study(&self, dir: &Path) -> Result<StudyResult, StudyError> {
+        let _span = astro_telemetry::span!("study.run_study", seed = self.config.seed);
+        std::fs::create_dir_all(dir)
+            .map_err(|e| StudyError::Io(format!("create {}: {e}", dir.display())))?;
+        let journal = Journal::at(&dir.join("ledger.jsonl"));
+        let done = load_ledger(&journal)?;
+        self.check_fingerprint(&journal, &done)?;
+
+        // Natives per tier, checkpointed.
+        let mut natives: HashMap<usize, Params> = HashMap::new();
+        for tier in [Tier::S7b, Tier::S8b, Tier::S70b] {
+            let stage = format!("native-{}", slug(tier.label()));
+            let p = self.ensure_params(&journal, &done, dir, &stage, || {
+                self.pretrain_native(tier).map(|(p, _)| p)
+            })?;
+            natives.insert(tier_idx(tier), p);
+        }
+
+        // Per-model CPT/SFT checkpoints and ledgered scores, in the same
+        // order as build_artifacts + evaluate_artifacts.
+        let mut scores = Vec::new();
+        let mut parse_trouble = Vec::new();
+        for id in ModelId::all() {
+            let name = slug(id.name());
+            let native = &natives[&tier_idx(id.tier())];
+            let base = match id.recipe() {
+                None => native.clone(),
+                Some(recipe) => self.ensure_params(&journal, &done, dir, &format!("cpt-{name}"), || {
+                    self.cpt(native, recipe).map(|(p, _)| p)
+                })?,
+            };
+            let instruct = if id.has_instruct() {
+                Some(self.ensure_params(&journal, &done, dir, &format!("sft-{name}"), || {
+                    self.sft(&base, id.name()).map(|(p, _)| p)
+                })?)
+            } else {
+                None
+            };
+            let token_base = self
+                .ensure_score(&journal, &done, &format!("eval-{name}-token_base"), &base, Method::TokenBase)?
+                .percent();
+            let (full, token_instr, trouble) = match &instruct {
+                Some(p) => {
+                    let fi = self.ensure_score(
+                        &journal,
+                        &done,
+                        &format!("eval-{name}-full_instruct"),
+                        p,
+                        Method::FullInstruct,
+                    )?;
+                    let ti = self
+                        .ensure_score(&journal, &done, &format!("eval-{name}-token_instruct"), p, Method::TokenInstruct)?
+                        .percent();
+                    (Some(fi.percent()), Some(ti), fi.parse_trouble_rate())
+                }
+                None => (None, None, 0.0),
+            };
+            scores.push((id, [full, token_instr, Some(token_base)]));
+            parse_trouble.push((id, trouble));
+        }
+        let rows = build_rows(&scores);
+        let (lo, hi) = score_range(&rows);
+        Ok(StudyResult {
+            table1: render_table1(&rows),
+            figure1: render_figure1(&rows, lo, hi),
+            figure1_csv: astro_eval::report::figure1_csv(&rows),
+            scores,
+            parse_trouble,
+        })
+    }
+
+    /// The study's identity for ledger compatibility: FNV-1a digests of
+    /// the configuration's debug rendering and the trained tokenizer.
+    fn fingerprint(&self) -> (u64, u64) {
+        (
+            fnv64(format!("{:?}", self.config).as_bytes()),
+            fnv64(&self.tokenizer.to_bytes()),
+        )
+    }
+
+    /// Verify an existing ledger belongs to this study, or start a fresh
+    /// ledger with a fingerprint line. Resuming someone else's ledger
+    /// would silently mix artifacts from two different studies.
+    fn check_fingerprint(
+        &self,
+        journal: &Journal,
+        done: &HashMap<String, Json>,
+    ) -> Result<(), StudyError> {
+        let (cfg, tok) = self.fingerprint();
+        match done.get("fingerprint") {
+            Some(entry) => {
+                let field = |k: &str| entry.get(k).and_then(Json::as_str).map(str::to_string);
+                if field("config") != Some(format!("{cfg:016x}"))
+                    || field("tokenizer") != Some(format!("{tok:016x}"))
+                {
+                    return Err(StudyError::Ledger(format!(
+                        "{} belongs to a different study (config/tokenizer fingerprint mismatch)",
+                        journal.path().display()
+                    )));
+                }
+                Ok(())
+            }
+            None => journal
+                .append(&format!(
+                    r#"{{"stage":"fingerprint","config":"{cfg:016x}","tokenizer":"{tok:016x}"}}"#
+                ))
+                .map_err(|e| StudyError::Io(format!("append ledger: {e}"))),
+        }
+    }
+
+    /// Produce the parameters for `stage`: replayed from a ledgered
+    /// checkpoint when possible, otherwise built, checkpointed atomically
+    /// and recorded. A ledger entry whose checkpoint is missing, corrupt
+    /// or altered (digest mismatch) is not trusted — the stage re-runs.
+    fn ensure_params(
+        &self,
+        journal: &Journal,
+        done: &HashMap<String, Json>,
+        dir: &Path,
+        stage: &str,
+        build: impl FnOnce() -> Result<Params, StudyError>,
+    ) -> Result<Params, StudyError> {
+        let file = format!("{stage}.ckpt");
+        let path = dir.join(&file);
+        if let Some(entry) = done.get(stage) {
+            match replay_checkpoint(entry, &path) {
+                Ok(p) => {
+                    astro_telemetry::info!("run_study: resume {stage} from {file}");
+                    astro_telemetry::counter("study.stages_resumed").inc();
+                    return Ok(p);
+                }
+                Err(why) => {
+                    astro_telemetry::info!("run_study: rebuild {stage}: {why}");
+                    astro_telemetry::counter("study.ckpt_replay_failures").inc();
+                }
+            }
+        }
+        let params = build()?;
+        save_checkpoint(&params, &path).map_err(|e| StudyError::Ckpt {
+            path: path.display().to_string(),
+            source: e,
+        })?;
+        let digest = fnv64(&astro_model::serial::params_to_bytes(&params));
+        journal
+            .append(&format!(
+                r#"{{"stage":"{stage}","kind":"ckpt","file":"{file}","fnv":"{digest:016x}"}}"#
+            ))
+            .map_err(|e| StudyError::Io(format!("append ledger: {e}")))?;
+        astro_telemetry::counter("study.stages_completed").inc();
+        self.stage_boundary(stage)?;
+        Ok(params)
+    }
+
+    /// Produce the score for `stage`: replayed from the ledger when
+    /// present, otherwise evaluated (with bounded retries around
+    /// transient engine failures) and recorded as integers so replay is
+    /// exact.
+    fn ensure_score(
+        &self,
+        journal: &Journal,
+        done: &HashMap<String, Json>,
+        stage: &str,
+        params: &Params,
+        method: Method,
+    ) -> Result<Score, StudyError> {
+        if let Some(entry) = done.get(stage) {
+            if let Some(score) = score_from_entry(entry) {
+                astro_telemetry::info!("run_study: resume {stage} from ledger");
+                astro_telemetry::counter("study.stages_resumed").inc();
+                return Ok(score);
+            }
+            astro_telemetry::info!("run_study: ledger entry for {stage} malformed; re-evaluating");
+        }
+        let policy = RetryPolicy::evals();
+        let score = policy
+            .run(stage, |_| self.eval_checked(params, method))
+            .map_err(|failure| StudyError::Eval {
+                stage: stage.to_string(),
+                attempts: policy.max_attempts,
+                failure,
+            })?;
+        journal
+            .append(&format!(
+                r#"{{"stage":"{stage}","kind":"score","correct":{},"total":{},"s0":{},"s1":{},"s2":{},"s3":{}}}"#,
+                score.correct, score.total, score.stages[0], score.stages[1], score.stages[2], score.stages[3]
+            ))
+            .map_err(|e| StudyError::Io(format!("append ledger: {e}")))?;
+        astro_telemetry::counter("study.stages_completed").inc();
+        self.stage_boundary(stage)?;
+        Ok(score)
+    }
+
+    /// Crossing point between stages: where the chaos suite's
+    /// `study.stage_boundary` fault simulates a crash immediately after a
+    /// stage became durable.
+    fn stage_boundary(&self, stage: &str) -> Result<(), StudyError> {
+        if fault::should_fault("study.stage_boundary") {
+            return Err(StudyError::Interrupted {
+                site: "study.stage_boundary",
+                stage: stage.to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Parse the ledger into a stage → entry map (later entries win).
+fn load_ledger(journal: &Journal) -> Result<HashMap<String, Json>, StudyError> {
+    let mut done = HashMap::new();
+    for line in journal
+        .lines()
+        .map_err(|e| StudyError::Io(format!("read {}: {e}", journal.path().display())))?
+    {
+        let entry = Json::parse(&line)
+            .map_err(|e| StudyError::Ledger(format!("unparseable ledger line: {e}")))?;
+        let stage = entry
+            .get("stage")
+            .and_then(Json::as_str)
+            .ok_or_else(|| StudyError::Ledger("ledger line missing \"stage\"".to_string()))?
+            .to_string();
+        done.insert(stage, entry);
+    }
+    Ok(done)
+}
+
+/// Load a ledgered checkpoint, verifying the file digest recorded at
+/// write time; any mismatch means the stage must re-run.
+fn replay_checkpoint(entry: &Json, path: &Path) -> Result<Params, String> {
+    let want = entry
+        .get("fnv")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "ledger entry has no checkpoint digest".to_string())?;
+    let bytes = astro_resilience::durable::read_all(path).map_err(|e| e.to_string())?;
+    let got = format!("{:016x}", fnv64(&bytes));
+    if got != want {
+        return Err(format!("checkpoint digest {got} != ledgered {want}"));
+    }
+    astro_model::serial::params_from_bytes(&bytes).map_err(|e| e.to_string())
+}
+
+/// Reconstruct a [`Score`] from a ledgered score entry. Scores are stored
+/// as integer counts, so replay is exact.
+fn score_from_entry(entry: &Json) -> Option<Score> {
+    let n = |k: &str| match entry.get(k)? {
+        Json::Number(x) if *x >= 0.0 && x.fract() == 0.0 => Some(*x as usize),
+        _ => None,
+    };
+    Some(Score {
+        correct: n("correct")?,
+        total: n("total")?,
+        stages: [n("s0")?, n("s1")?, n("s2")?, n("s3")?],
+    })
+}
+
+/// A filesystem- and JSON-safe stage name: alphanumerics and dashes only
+/// (model names contain spaces and parentheses, e.g. `" (sim)"`).
+fn slug(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect()
 }
 
 /// Convert raw scores into Table-I rows with baseline indices.
 pub fn build_rows(scores: &[(ModelId, [Option<f64>; 3])]) -> Vec<ModelRow> {
-    let index_of = |id: ModelId| {
-        ModelId::all()
-            .iter()
-            .position(|&m| m == id)
-            .expect("all ids present")
-    };
+    // `ModelId::all()` lists every variant, so the position lookup is
+    // total; `flatten` keeps this panic-free regardless.
+    let index_of = |id: ModelId| ModelId::all().iter().position(|&m| m == id);
     scores
         .iter()
         .map(|(id, s)| ModelRow {
             name: id.name().to_string(),
             series: id.series().to_string(),
             scores: *s,
-            baseline: (id.baseline() != *id).then(|| index_of(id.baseline())),
+            baseline: (id.baseline() != *id)
+                .then(|| index_of(id.baseline()))
+                .flatten(),
             source: id.source().to_string(),
         })
         .collect()
@@ -452,7 +847,11 @@ mod tests {
     use super::*;
 
     fn smoke_study() -> Study {
-        Study::prepare(StudyConfig::smoke(11))
+        Study::prepare(StudyConfig::smoke(11)).expect("smoke prepare")
+    }
+
+    fn stream(s: &Study, recipe: CorpusRecipe) -> &TokenStream {
+        s.cpt_stream(recipe).expect("all recipes prepared")
     }
 
     #[test]
@@ -460,16 +859,26 @@ mod tests {
         let s = smoke_study();
         assert!(!s.general_stream.is_empty());
         for recipe in [CorpusRecipe::Abstract, CorpusRecipe::Aic, CorpusRecipe::Summary] {
-            assert!(s.cpt_stream(recipe).len() > s.config.seq, "{recipe:?} stream too small");
+            assert!(stream(&s, recipe).len() > s.config.seq, "{recipe:?} stream too small");
         }
         assert!(!s.sft_examples.is_empty());
         assert_eq!(s.mcq.questions.len() + s.mcq.exemplars.len(), 40 * 5);
     }
 
     #[test]
+    fn prepare_rejects_invalid_config() {
+        let mut cfg = StudyConfig::smoke(11);
+        cfg.batch = 0;
+        match Study::prepare(cfg) {
+            Err(StudyError::InvalidConfig(msg)) => assert!(msg.contains("batch"), "{msg}"),
+            other => panic!("expected InvalidConfig, got {:?}", other.err()),
+        }
+    }
+
+    #[test]
     fn aic_stream_larger_than_abstract() {
         let s = smoke_study();
-        assert!(s.cpt_stream(CorpusRecipe::Aic).len() > s.cpt_stream(CorpusRecipe::Abstract).len());
+        assert!(stream(&s, CorpusRecipe::Aic).len() > stream(&s, CorpusRecipe::Abstract).len());
     }
 
     #[test]
@@ -487,15 +896,15 @@ mod tests {
     #[test]
     fn pretrain_reduces_loss() {
         let s = smoke_study();
-        let (_, report) = s.pretrain_native(Tier::S7b);
+        let (_, report) = s.pretrain_native(Tier::S7b).expect("pretrain");
         assert!(report.tail_loss(2) < report.losses[0].1, "{:?}", report.losses);
     }
 
     #[test]
     fn cpt_starts_from_base_and_changes_weights() {
         let s = smoke_study();
-        let (native, _) = s.pretrain_native(Tier::S7b);
-        let (cpt, report) = s.cpt(&native, CorpusRecipe::Aic);
+        let (native, _) = s.pretrain_native(Tier::S7b).expect("pretrain");
+        let (cpt, report) = s.cpt(&native, CorpusRecipe::Aic).expect("cpt");
         assert_eq!(cpt.data.len(), native.data.len());
         assert_ne!(cpt.data, native.data);
         assert!(report.steps == s.config.cpt_steps);
@@ -505,9 +914,9 @@ mod tests {
     fn sft_changes_weights_less_than_cpt() {
         // SFT's tiny LR must move weights much less than CPT does.
         let s = smoke_study();
-        let (native, _) = s.pretrain_native(Tier::S7b);
-        let (cpt, _) = s.cpt(&native, CorpusRecipe::Aic);
-        let (instr, _) = s.sft(&native, "t");
+        let (native, _) = s.pretrain_native(Tier::S7b).expect("pretrain");
+        let (cpt, _) = s.cpt(&native, CorpusRecipe::Aic).expect("cpt");
+        let (instr, _) = s.sft(&native, "t").expect("sft");
         let dist = |a: &Params, b: &Params| -> f64 {
             a.data
                 .iter()
@@ -551,5 +960,29 @@ mod tests {
     #[test]
     fn score_range_handles_empty() {
         assert_eq!(score_range(&[]), (0.0, 100.0));
+    }
+
+    #[test]
+    fn slug_is_filesystem_safe() {
+        assert_eq!(slug("AstroLLaMA-2-7B-AIC (sim)"), "AstroLLaMA-2-7B-AIC--sim-");
+        assert_eq!(slug("7B-class"), "7B-class");
+    }
+
+    #[test]
+    fn score_entries_round_trip_through_the_ledger_format() {
+        let score = Score { correct: 17, total: 24, stages: [9, 4, 2, 1] };
+        let line = format!(
+            r#"{{"stage":"eval-x-token_base","kind":"score","correct":{},"total":{},"s0":{},"s1":{},"s2":{},"s3":{}}}"#,
+            score.correct, score.total, score.stages[0], score.stages[1], score.stages[2], score.stages[3]
+        );
+        let entry = Json::parse(&line).expect("parse");
+        assert_eq!(score_from_entry(&entry), Some(score));
+    }
+
+    #[test]
+    fn malformed_score_entries_are_rejected_not_trusted() {
+        let entry = Json::parse(r#"{"stage":"eval-x","kind":"score","correct":-1,"total":24}"#)
+            .expect("parse");
+        assert_eq!(score_from_entry(&entry), None);
     }
 }

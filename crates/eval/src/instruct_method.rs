@@ -14,7 +14,7 @@ use astro_mcq::prompts::instruct_method_messages;
 use astro_mcq::Mcq;
 use astro_model::{sample_logits, InferenceSession, SamplerConfig};
 use astro_prng::Rng;
-use astro_serve::{EngineConfig, EvalEngine, GenerateJob};
+use astro_serve::{EngineConfig, EvalEngine, GenerateJob, ServeError};
 use astro_tokenizer::{ChatMessage, ChatTemplate, Role};
 
 /// Configuration for the full-instruct method.
@@ -54,6 +54,9 @@ pub struct InstructAnswer {
     pub stage: ExtractionStage,
     /// The raw generated text (diagnostics).
     pub raw: String,
+    /// A per-question engine failure; the rest of the sweep is
+    /// unaffected. A failed question counts as unanswered.
+    pub error: Option<ServeError>,
 }
 
 /// The encoded, truncated chat prompt and generation budget for one
@@ -110,6 +113,7 @@ pub fn instruct_method_answer(
         prediction,
         stage,
         raw,
+        error: None,
     }
 }
 
@@ -164,12 +168,14 @@ pub fn instruct_method(
                     prediction,
                     stage,
                     raw,
+                    error: None,
                 }
             }
-            Err(_) => InstructAnswer {
+            Err(e) => InstructAnswer {
                 prediction: None,
                 stage: ExtractionStage::Failed,
                 raw: String::new(),
+                error: Some(e),
             },
         })
         .collect()

@@ -26,9 +26,9 @@ pub mod token_method;
 pub mod value;
 
 pub use extract::{extract_answer, ExtractionStage};
-pub use instruct_method::{instruct_method, InstructEvalConfig};
+pub use instruct_method::{instruct_method, InstructAnswer, InstructEvalConfig};
 pub use oracle::FlagshipOracle;
-pub use score::{bootstrap_ci, evaluate, EvalOutcome, Method, Score, TierBreakdown};
+pub use score::{bootstrap_ci, evaluate, evaluate_checked, EvalFailure, EvalOutcome, Method, Score, TierBreakdown};
 pub use token_method::{token_method, token_method_outcomes, AnswerReadout, TokenEvalConfig, TokenOutcome};
 
 /// A model under evaluation: parameters plus the tokenizer it was trained

@@ -5,7 +5,7 @@
 
 use crate::extract::ExtractionStage;
 use crate::instruct_method::{instruct_method, InstructEvalConfig};
-use crate::token_method::{token_method, TokenEvalConfig};
+use crate::token_method::{token_method_outcomes, TokenEvalConfig};
 use crate::EvalModel;
 use astro_mcq::Mcq;
 use astro_prng::Rng;
@@ -48,7 +48,7 @@ impl Method {
 }
 
 /// Result of scoring one model under one method.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Score {
     /// Correct answers.
     pub correct: usize,
@@ -161,7 +161,35 @@ pub struct EvalOutcome {
     pub instruct: InstructEvalConfig,
 }
 
+/// Per-question engine failures rolled up from an [`evaluate_checked`]
+/// run. Carries the degraded score (every failed question counted as
+/// wrong) so callers can decide whether to accept it anyway.
+#[derive(Clone, Debug)]
+pub struct EvalFailure {
+    /// The score with failed questions counted as wrong — what
+    /// [`evaluate`] would have returned.
+    pub degraded: Score,
+    /// Questions whose engine job failed.
+    pub failed: usize,
+    /// The first failure, rendered for diagnostics.
+    pub first_error: String,
+}
+
+impl std::fmt::Display for EvalFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} of {} questions failed in the eval engine (first: {})",
+            self.failed, self.degraded.total, self.first_error
+        )
+    }
+}
+
+impl std::error::Error for EvalFailure {}
+
 /// Run `method` for `model` over `questions`, returning the score.
+/// Per-question engine failures are absorbed: a failed question scores as
+/// wrong. Use [`evaluate_checked`] to surface them as a typed error.
 pub fn evaluate(
     model: &EvalModel<'_>,
     questions: &[&Mcq],
@@ -172,16 +200,66 @@ pub fn evaluate(
     rng: &mut Rng,
 ) -> Score {
     let span = astro_telemetry::span!("eval", method = method.key());
+    let (score, _failed, _first) =
+        run_eval(model, questions, exemplars, method, token_cfg, instruct_cfg, rng);
+    span.record_f64("questions", score.total as f64);
+    score
+}
+
+/// Like [`evaluate`], but per-question engine failures surface as a typed
+/// [`EvalFailure`] instead of being silently scored as wrong. On success
+/// the returned [`Score`] is bitwise identical to [`evaluate`]'s for the
+/// same inputs — the two share one implementation.
+pub fn evaluate_checked(
+    model: &EvalModel<'_>,
+    questions: &[&Mcq],
+    exemplars: &[Mcq],
+    method: Method,
+    token_cfg: &TokenEvalConfig,
+    instruct_cfg: &InstructEvalConfig,
+    rng: &mut Rng,
+) -> Result<Score, EvalFailure> {
+    let span = astro_telemetry::span!("eval_checked", method = method.key());
+    let (score, failed, first_error) =
+        run_eval(model, questions, exemplars, method, token_cfg, instruct_cfg, rng);
+    span.record_f64("questions", score.total as f64);
+    if failed == 0 {
+        return Ok(score);
+    }
+    Err(EvalFailure {
+        degraded: score,
+        failed,
+        first_error: first_error.unwrap_or_default(),
+    })
+}
+
+/// Shared implementation of [`evaluate`] / [`evaluate_checked`]: score the
+/// question set and report `(score, failed_questions, first_error)`.
+fn run_eval(
+    model: &EvalModel<'_>,
+    questions: &[&Mcq],
+    exemplars: &[Mcq],
+    method: Method,
+    token_cfg: &TokenEvalConfig,
+    instruct_cfg: &InstructEvalConfig,
+    rng: &mut Rng,
+) -> (Score, usize, Option<String>) {
     let consistent = model.validate();
     assert!(consistent.is_ok(), "inconsistent EvalModel: {}", consistent.unwrap_err());
+    let mut failed = 0usize;
+    let mut first_error: Option<String> = None;
     let score = match method {
         Method::TokenBase | Method::TokenInstruct => {
-            let preds = token_method(model, questions, exemplars, token_cfg);
-            let correct = preds
-                .iter()
-                .zip(questions.iter())
-                .filter(|(&p, q)| p == q.answer)
-                .count();
+            let outcomes = token_method_outcomes(model, questions, exemplars, token_cfg);
+            let mut correct = 0;
+            for (o, q) in outcomes.iter().zip(questions.iter()) {
+                if let Some(e) = &o.error {
+                    failed += 1;
+                    first_error.get_or_insert_with(|| e.to_string());
+                } else if o.prediction == q.answer {
+                    correct += 1;
+                }
+            }
             Score {
                 correct,
                 total: questions.len(),
@@ -200,7 +278,10 @@ pub fn evaluate(
                     ExtractionStage::Failed => 3,
                 };
                 stages[si] += 1;
-                if a.prediction == Some(q.answer) {
+                if let Some(e) = &a.error {
+                    failed += 1;
+                    first_error.get_or_insert_with(|| e.to_string());
+                } else if a.prediction == Some(q.answer) {
                     correct += 1;
                 }
             }
@@ -217,15 +298,16 @@ pub fn evaluate(
     };
     astro_telemetry::counter("eval.questions").add(score.total as u64);
     astro_telemetry::counter("eval.correct").add(score.correct as u64);
-    span.record_f64("questions", score.total as f64);
+    astro_telemetry::counter("eval.failed_questions").add(failed as u64);
     astro_telemetry::Event::new("eval.method")
         .str_field("method", method.key())
         .u64_field("correct", score.correct as u64)
         .u64_field("total", score.total as u64)
+        .u64_field("failed", failed as u64)
         .f64_field("accuracy_pct", score.percent())
         .f64_field("fallback_rate", score.parse_trouble_rate())
         .emit();
-    score
+    (score, failed, first_error)
 }
 
 #[cfg(test)]

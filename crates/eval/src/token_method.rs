@@ -17,8 +17,8 @@
 use crate::EvalModel;
 use astro_mcq::prompts::token_method_prompt;
 use astro_mcq::Mcq;
-use astro_model::{InferenceSession, SessionError};
-use astro_serve::{EngineConfig, EvalEngine, ScoreJob, ScoreReadout};
+use astro_model::InferenceSession;
+use astro_serve::{EngineConfig, EvalEngine, ScoreJob, ScoreReadout, ServeError};
 use astro_tokenizer::TokenId;
 
 /// Which token representation encodes "the answer" in the readout.
@@ -192,8 +192,9 @@ pub struct TokenOutcome {
     /// Per-option scores (all `-inf` when the question errored).
     pub scores: [f32; 4],
     /// A per-question engine failure (e.g. the prompt overflowed the KV
-    /// cache); the rest of the sweep is unaffected.
-    pub error: Option<SessionError>,
+    /// cache even after the uncached retry, or the job panicked); the rest
+    /// of the sweep is unaffected.
+    pub error: Option<ServeError>,
 }
 
 /// The engine job for one question, mirroring [`token_method_predict`]'s

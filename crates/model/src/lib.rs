@@ -32,6 +32,7 @@ pub mod serial;
 pub use forward::TrainContext;
 pub use infer::{InferenceSession, SessionError};
 pub use params::Params;
+pub use serial::CkptError;
 pub use sample::{argmax, generate, sample_logits, SamplerConfig};
 
 /// The capacity tiers standing in for the paper's model scales.

@@ -41,11 +41,20 @@ impl Mailbox {
         }
     }
 
+    // Poisoning recovery: the slot is a plain `Option` — a panic on a
+    // peer thread cannot leave it half-written, so `into_inner` is safe
+    // and keeps the collective from amplifying one panic into many.
     fn put(&self, v: Vec<f32>) {
         let _order = astro_telemetry::lockcheck::acquire("parallel.device.mailbox");
-        let mut slot = self.slot.lock().expect("mailbox poisoned");
+        let mut slot = self
+            .slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         while slot.is_some() {
-            slot = self.taken.wait(slot).expect("mailbox poisoned");
+            slot = self
+                .taken
+                .wait(slot)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
         *slot = Some(v);
         self.ready.notify_one();
@@ -53,13 +62,20 @@ impl Mailbox {
 
     fn take(&self) -> Vec<f32> {
         let _order = astro_telemetry::lockcheck::acquire("parallel.device.mailbox");
-        let mut slot = self.slot.lock().expect("mailbox poisoned");
-        while slot.is_none() {
-            slot = self.ready.wait(slot).expect("mailbox poisoned");
+        let mut slot = self
+            .slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(v) = slot.take() {
+                self.taken.notify_one();
+                return v;
+            }
+            slot = self
+                .ready
+                .wait(slot)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
-        let v = slot.take().expect("slot checked non-empty");
-        self.taken.notify_one();
-        v
     }
 }
 

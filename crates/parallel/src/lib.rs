@@ -103,8 +103,12 @@ where
             }
         });
     }
+    // Every slot is filled by construction (the chunks tile 0..n); if a
+    // worker panicked, the scope has already propagated that panic. The
+    // fallback recompute keeps this path panic-free without assuming it.
     out.into_iter()
-        .map(|x| x.expect("par_map slot unfilled"))
+        .enumerate()
+        .map(|(i, x)| x.unwrap_or_else(|| f(i)))
         .collect()
 }
 

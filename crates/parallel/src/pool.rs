@@ -10,9 +10,19 @@
 //! exit after draining outstanding jobs. `join` waits for quiescence via a
 //! pending-job counter + condvar, the pattern recommended in *Rust Atomics
 //! and Locks* (ch. 1, condition variables).
+//!
+//! **Panic isolation.** Every job runs under `catch_unwind`: a panicking
+//! job is counted (`pool.job_panics` counter, [`ThreadPool::panics`]),
+//! its pending slot is released, and the worker keeps serving the queue —
+//! a panic can therefore never hang `join` or starve the pool. The
+//! `pool.worker_panic` fault site injects exactly such a panic for the
+//! chaos suite. Mutex poisoning (only possible if telemetry panicked
+//! inside a critical section) is recovered rather than propagated: the
+//! protected state is a plain counter, which stays consistent.
 
+use astro_resilience::fault;
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -21,6 +31,38 @@ struct Shared {
     quiescent: Condvar,
     /// Mirror of `pending` for observability dashboards.
     depth_gauge: astro_telemetry::metrics::Gauge,
+    /// Jobs that panicked instead of completing (isolated, not fatal).
+    panics: std::sync::atomic::AtomicUsize,
+}
+
+impl Shared {
+    /// Take the pending-counter lock under its declared rank, recovering
+    /// from poison (the counter cannot be left half-updated).
+    fn lock_pending(&self) -> (astro_telemetry::lockcheck::LockToken, MutexGuard<'_, usize>) {
+        let order = astro_telemetry::lockcheck::acquire("parallel.pool.pending");
+        let guard = self.pending.lock().unwrap_or_else(PoisonError::into_inner);
+        (order, guard)
+    }
+
+    /// Run one job with panic isolation, then release its pending slot.
+    fn run_job(&self, job: Job) {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if fault::should_fault("pool.worker_panic") {
+                std::panic::panic_any(fault::FaultPanic("pool.worker_panic"));
+            }
+            job();
+        }));
+        if outcome.is_err() {
+            self.panics.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            astro_telemetry::counter("pool.job_panics").inc();
+        }
+        let (_order, mut pending) = self.lock_pending();
+        *pending = pending.saturating_sub(1);
+        self.depth_gauge.set(*pending as i64);
+        if *pending == 0 {
+            self.quiescent.notify_all();
+        }
+    }
 }
 
 /// A fixed-size worker pool.
@@ -31,7 +73,10 @@ pub struct ThreadPool {
 }
 
 impl ThreadPool {
-    /// Spawn a pool with `size` workers (`size` is clamped to at least 1).
+    /// Spawn a pool with `size` workers (`size` is clamped to at least
+    /// 1). If the OS refuses some worker threads the pool degrades to
+    /// however many it got; with zero workers, jobs run inline on the
+    /// submitting thread.
     pub fn new(size: usize) -> Self {
         let size = size.max(1);
         let (sender, receiver) = channel::<Job>();
@@ -40,9 +85,10 @@ impl ThreadPool {
             pending: Mutex::new(0),
             quiescent: Condvar::new(),
             depth_gauge: astro_telemetry::gauge("pool.queue_depth"),
+            panics: std::sync::atomic::AtomicUsize::new(0),
         });
-        let workers = (0..size)
-            .map(|i| {
+        let workers: Vec<_> = (0..size)
+            .filter_map(|i| {
                 let rx: Arc<Mutex<Receiver<Job>>> = Arc::clone(&receiver);
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
@@ -53,23 +99,23 @@ impl ThreadPool {
                         let job = {
                             let _order =
                                 astro_telemetry::lockcheck::acquire("parallel.pool.receiver");
-                            match rx.lock().expect("pool receiver poisoned").recv() {
+                            let rx_guard = rx.lock().unwrap_or_else(PoisonError::into_inner);
+                            match rx_guard.recv() {
                                 Ok(job) => job,
                                 Err(_) => break, // channel disconnected
                             }
                         };
-                        job();
-                        let _order = astro_telemetry::lockcheck::acquire("parallel.pool.pending");
-                        let mut pending = shared.pending.lock().expect("pending poisoned");
-                        *pending -= 1;
-                        shared.depth_gauge.set(*pending as i64);
-                        if *pending == 0 {
-                            shared.quiescent.notify_all();
-                        }
+                        shared.run_job(job);
                     })
-                    .expect("failed to spawn pool worker")
+                    .ok()
             })
             .collect();
+        if workers.len() < size {
+            astro_telemetry::info!(
+                "thread pool degraded: spawned {} of {size} workers",
+                workers.len()
+            );
+        }
         ThreadPool {
             sender: Some(sender),
             workers,
@@ -84,34 +130,52 @@ impl ThreadPool {
 
     /// Jobs submitted but not yet completed.
     pub fn queue_depth(&self) -> usize {
-        let _order = astro_telemetry::lockcheck::acquire("parallel.pool.pending");
-        *self.shared.pending.lock().expect("pending poisoned")
+        let (_order, pending) = self.shared.lock_pending();
+        *pending
     }
 
-    /// Submit a job for asynchronous execution.
+    /// Jobs that panicked instead of completing since the pool was built.
+    pub fn panics(&self) -> usize {
+        self.shared.panics.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Submit a job for asynchronous execution. If no worker can take it
+    /// (spawn failure degraded the pool to zero workers, or the workers
+    /// have exited), the job runs inline on this thread instead of being
+    /// lost — submission never fails.
     pub fn execute<F>(&self, job: F)
     where
         F: FnOnce() + Send + 'static,
     {
         {
-            let _order = astro_telemetry::lockcheck::acquire("parallel.pool.pending");
-            let mut pending = self.shared.pending.lock().expect("pending poisoned");
+            let (_order, mut pending) = self.shared.lock_pending();
             *pending += 1;
             self.shared.depth_gauge.set(*pending as i64);
         }
-        self.sender
-            .as_ref()
-            .expect("pool already shut down")
-            .send(Box::new(job))
-            .expect("pool workers have exited");
+        let boxed: Job = Box::new(job);
+        if self.workers.is_empty() {
+            self.shared.run_job(boxed);
+            return;
+        }
+        let Some(sender) = self.sender.as_ref() else {
+            self.shared.run_job(boxed);
+            return;
+        };
+        if let Err(returned) = sender.send(boxed) {
+            // Receiver gone (workers exited): run the returned job inline.
+            self.shared.run_job(returned.0);
+        }
     }
 
     /// Block until every submitted job has completed.
     pub fn join(&self) {
-        let _order = astro_telemetry::lockcheck::acquire("parallel.pool.pending");
-        let mut pending = self.shared.pending.lock().expect("pending poisoned");
+        let (_order, mut pending) = self.shared.lock_pending();
         while *pending > 0 {
-            pending = self.shared.quiescent.wait(pending).expect("pending poisoned");
+            pending = self
+                .shared
+                .quiescent
+                .wait(pending)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -199,5 +263,32 @@ mod tests {
         let mut got: Vec<u64> = rx.iter().collect();
         got.sort_unstable();
         assert_eq!(got, (0..20).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panicking_job_is_isolated_and_join_still_returns() {
+        let pool = ThreadPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for i in 0..10 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                if i == 3 {
+                    // Deliberate panic; the pool must absorb it.
+                    std::panic::panic_any("test job panic");
+                }
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.join();
+        assert_eq!(counter.load(Ordering::Relaxed), 9);
+        assert_eq!(pool.panics(), 1);
+        assert_eq!(pool.queue_depth(), 0);
+        // The pool keeps working after the panic.
+        let c = Arc::clone(&counter);
+        pool.execute(move || {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.join();
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
     }
 }

@@ -1,0 +1,41 @@
+//! FNV-1a 64-bit — the workspace's content checksum.
+//!
+//! Chosen over a cryptographic hash deliberately: the threat model is
+//! torn writes and bit rot, not adversaries, and FNV-1a is allocation-
+//! free, dependency-free and fast enough to run over every checkpoint on
+//! every load. Checkpoint trailers (`astro_model::serial`) and run-ledger
+//! entries (`astromlab::study`) both store this hash.
+
+const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64-bit hash of `bytes`.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = OFFSET_BASIS;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_hash() {
+        let a = vec![0u8; 1024];
+        let mut b = a.clone();
+        b[512] ^= 0x01;
+        assert_ne!(fnv64(&a), fnv64(&b));
+    }
+}

@@ -1,0 +1,114 @@
+//! Bounded retry with deterministic exponential backoff.
+//!
+//! Used by `run_study` around evaluation jobs: a transient failure (a
+//! worker panic absorbed as a per-job error, an injected fault that has
+//! since burnt out) is retried a fixed number of times with doubling
+//! delays. The delays are pure functions of the attempt number — no
+//! clock, no jitter — so retried runs stay reproducible.
+
+use astro_telemetry::{counter, info};
+use std::time::Duration;
+
+/// Retry budget: at most `max_attempts` tries, sleeping
+/// `base_delay_ms * 2^(attempt-1)` (capped at `max_delay_ms`) between
+/// them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (values below 1 behave as 1).
+    pub max_attempts: u32,
+    /// Delay after the first failure, in milliseconds.
+    pub base_delay_ms: u64,
+    /// Upper bound on any single delay, in milliseconds.
+    pub max_delay_ms: u64,
+}
+
+impl RetryPolicy {
+    /// The study pipeline's policy for transient eval-job failures.
+    pub fn evals() -> Self {
+        RetryPolicy { max_attempts: 3, base_delay_ms: 10, max_delay_ms: 80 }
+    }
+
+    /// No retries: a single attempt.
+    pub fn none() -> Self {
+        RetryPolicy { max_attempts: 1, base_delay_ms: 0, max_delay_ms: 0 }
+    }
+
+    /// The backoff delay after failed attempt number `attempt` (1-based).
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        let doublings = attempt.saturating_sub(1).min(16);
+        (self.base_delay_ms << doublings).min(self.max_delay_ms)
+    }
+
+    /// Run `op` (which receives the 1-based attempt number) until it
+    /// succeeds or the budget is exhausted; returns the last error.
+    pub fn run<T, E: std::fmt::Display>(
+        &self,
+        label: &str,
+        mut op: impl FnMut(u32) -> Result<T, E>,
+    ) -> Result<T, E> {
+        let attempts = self.max_attempts.max(1);
+        for attempt in 1..attempts {
+            match op(attempt) {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    counter("retry.attempt_failures").inc();
+                    let delay = self.delay_ms(attempt);
+                    info!("{label}: attempt {attempt}/{attempts} failed ({e}); retrying in {delay}ms");
+                    std::thread::sleep(Duration::from_millis(delay));
+                }
+            }
+        }
+        match op(attempts) {
+            Ok(v) => Ok(v),
+            Err(e) => {
+                counter("retry.exhausted").inc();
+                info!("{label}: attempt {attempts}/{attempts} failed ({e}); budget exhausted");
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn succeeds_after_transient_failures() {
+        let policy = RetryPolicy { max_attempts: 3, base_delay_ms: 0, max_delay_ms: 0 };
+        let mut calls = 0;
+        let out = policy.run("t", |attempt| {
+            calls += 1;
+            if attempt < 3 { Err("transient") } else { Ok(attempt) }
+        });
+        assert_eq!(out, Ok(3));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn exhausts_budget_and_returns_last_error() {
+        let policy = RetryPolicy { max_attempts: 2, base_delay_ms: 0, max_delay_ms: 0 };
+        let out: Result<(), String> = policy.run("t", |a| Err(format!("fail {a}")));
+        assert_eq!(out, Err("fail 2".to_string()));
+    }
+
+    #[test]
+    fn single_attempt_policy_never_retries() {
+        let mut calls = 0;
+        let out: Result<(), &str> = RetryPolicy::none().run("t", |_| {
+            calls += 1;
+            Err("nope")
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy { max_attempts: 6, base_delay_ms: 10, max_delay_ms: 35 };
+        assert_eq!(p.delay_ms(1), 10);
+        assert_eq!(p.delay_ms(2), 20);
+        assert_eq!(p.delay_ms(3), 35);
+        assert_eq!(p.delay_ms(5), 35);
+    }
+}

@@ -13,8 +13,11 @@
 //!    forks the deepest cached snapshot into its reusable session
 //!    (`assign_from`), encodes only the unshared tail, and snapshots the
 //!    group anchor on the way past so later same-group jobs skip it too.
-//! 3. A prompt that exceeds the KV cache surfaces as that job's
-//!    `Err(SessionError::CacheFull)`; the rest of the batch is unaffected.
+//! 3. A prompt that exceeds the KV cache is retried once without the
+//!    prefix cache, then surfaces as that job's
+//!    `Err(ServeError::Session(SessionError::CacheFull))`; a panicking job
+//!    surfaces as `Err(ServeError::WorkerPanic)`. The rest of the batch is
+//!    unaffected either way.
 //!
 //! Results are returned in job order regardless of completion order, and
 //! are bit-identical to running each job in a fresh session (see the
@@ -25,10 +28,40 @@ use crate::EngineConfig;
 use astro_model::{sample_logits, InferenceSession, ModelConfig, Params, SamplerConfig, SessionError};
 use astro_parallel::ThreadPool;
 use astro_prng::Rng;
+use astro_resilience::fault;
 use astro_telemetry::lockcheck;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard};
+
+/// A per-job engine failure. The batch is unaffected: every other job
+/// still completes and returns its own result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The job's inference session failed (KV-cache overflow). Already
+    /// retried once without the prefix cache before being surfaced — see
+    /// [`EvalEngine::score_batch`].
+    Session(SessionError),
+    /// The job's closure panicked; the panic was isolated to this job.
+    WorkerPanic,
+}
+
+impl From<SessionError> for ServeError {
+    fn from(e: SessionError) -> Self {
+        ServeError::Session(e)
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Session(e) => e.fmt(f),
+            ServeError::WorkerPanic => write!(f, "job panicked inside the eval engine"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
 
 /// How a [`ScoreJob`]'s per-option scores are read out of the model.
 #[derive(Clone, Debug)]
@@ -176,8 +209,9 @@ impl EvalEngine {
 
     /// Score a batch of prompts; results come back in job order. Each
     /// element is the per-option score vector, or that job's
-    /// [`SessionError`] when its prompt overflowed the KV cache.
-    pub fn score_batch(&self, jobs: Vec<ScoreJob>) -> Vec<Result<Vec<f32>, SessionError>> {
+    /// [`ServeError`] when its prompt overflowed the KV cache (after one
+    /// uncached retry) or its closure panicked.
+    pub fn score_batch(&self, jobs: Vec<ScoreJob>) -> Vec<Result<Vec<f32>, ServeError>> {
         let span = astro_telemetry::span!("serve.score_batch", jobs = jobs.len());
         let _ = &span;
         let outcomes = self.run_batch(jobs.into_iter().map(Job::Score).collect());
@@ -194,8 +228,8 @@ impl EvalEngine {
 
     /// Generate from a batch of prompts; results come back in job order.
     /// Each element is the generated token sequence (stop token excluded),
-    /// or that job's [`SessionError`].
-    pub fn generate_batch(&self, jobs: Vec<GenerateJob>) -> Vec<Result<Vec<u32>, SessionError>> {
+    /// or that job's [`ServeError`].
+    pub fn generate_batch(&self, jobs: Vec<GenerateJob>) -> Vec<Result<Vec<u32>, ServeError>> {
         let span = astro_telemetry::span!("serve.generate_batch", jobs = jobs.len());
         let _ = &span;
         let outcomes = self.run_batch(jobs.into_iter().map(Job::Generate).collect());
@@ -212,7 +246,7 @@ impl EvalEngine {
 
     /// Shared dispatch: prime anchors, fan out, collect in order, publish
     /// cache metrics.
-    fn run_batch(&self, jobs: Vec<Job>) -> Vec<Result<Outcome, SessionError>> {
+    fn run_batch(&self, jobs: Vec<Job>) -> Vec<Result<Outcome, ServeError>> {
         if jobs.is_empty() {
             return Vec::new();
         }
@@ -226,13 +260,14 @@ impl EvalEngine {
         let n_jobs = jobs.len();
         let workers = self.cfg.resolved_parallelism().min(n_jobs).max(1);
         let cache = self.cfg.prefix_cache.then(|| Arc::clone(&self.cache));
-        let mut results: Vec<Option<Result<Outcome, SessionError>>> =
+        let mut results: Vec<Option<Result<Outcome, ServeError>>> =
             (0..n_jobs).map(|_| None).collect();
 
         if workers <= 1 {
             let mut state = WorkerState::new(self.model_cfg);
             for (i, job) in jobs.iter().enumerate() {
-                results[i] = Some(run_job(&self.params, cache.as_deref(), &anchors, &mut state, job));
+                results[i] =
+                    Some(run_job_resilient(&self.params, cache.as_deref(), &anchors, &mut state, job));
             }
         } else {
             let jobs = Arc::new(jobs);
@@ -255,7 +290,8 @@ impl EvalEngine {
                         if i >= jobs.len() {
                             break;
                         }
-                        let r = run_job(&params, cache.as_deref(), &anchors, &mut state, &jobs[i]);
+                        let r =
+                            run_job_resilient(&params, cache.as_deref(), &anchors, &mut state, &jobs[i]);
                         if tx.send((i, r)).is_err() {
                             break;
                         }
@@ -277,11 +313,8 @@ impl EvalEngine {
                 Some(r) => r,
                 // Unreachable: every index below n_jobs is claimed exactly
                 // once and reported exactly once. Degrade to an error
-                // rather than panicking a batch.
-                None => Err(SessionError::CacheFull {
-                    pos: 0,
-                    max_seq: self.model_cfg.max_seq,
-                }),
+                // rather than panicking the batch.
+                None => Err(ServeError::WorkerPanic),
             })
             .collect()
     }
@@ -354,6 +387,49 @@ fn publish_cache_metrics(before: &CacheStats, after: &CacheStats) {
     astro_telemetry::gauge("serve.cache.resident_bytes").set(after.resident_bytes as i64);
 }
 
+/// Execute one job with panic isolation and cache-pressure degradation:
+///
+/// * a panic inside the job is caught and surfaced as
+///   [`ServeError::WorkerPanic`] (counted under `serve.job_panics`), so a
+///   bad job cannot take the batch down;
+/// * [`SessionError::CacheFull`] is retried **once without the prefix
+///   cache** before being surfaced. By the crate's determinism contract an
+///   uncached run is bit-identical to a cached one, so degradation never
+///   changes scores — it only sheds the cache under pressure. Counted
+///   under `serve.cache_full.retries`.
+fn run_job_resilient(
+    params: &Params,
+    cache: Option<&Mutex<PrefixCache>>,
+    anchors: &HashMap<u64, Vec<u32>>,
+    state: &mut WorkerState,
+    job: &Job,
+) -> Result<Outcome, ServeError> {
+    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_job(params, cache, anchors, state, job)
+    }));
+    match attempt {
+        Err(_) => {
+            astro_telemetry::counter("serve.job_panics").inc();
+            Err(ServeError::WorkerPanic)
+        }
+        Ok(Err(SessionError::CacheFull { .. })) => {
+            astro_telemetry::counter("serve.cache_full.retries").inc();
+            let no_anchors = HashMap::new();
+            let retry = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_job(params, None, &no_anchors, state, job)
+            }));
+            match retry {
+                Err(_) => {
+                    astro_telemetry::counter("serve.job_panics").inc();
+                    Err(ServeError::WorkerPanic)
+                }
+                Ok(r) => r.map_err(ServeError::from),
+            }
+        }
+        Ok(r) => r.map_err(ServeError::from),
+    }
+}
+
 /// Execute one job in the worker's reusable sessions.
 fn run_job(
     params: &Params,
@@ -364,6 +440,12 @@ fn run_job(
 ) -> Result<Outcome, SessionError> {
     let prompt = job.prompt();
     assert!(!prompt.is_empty(), "engine jobs require a non-empty prompt");
+    if fault::should_fault("serve.cache_full") {
+        return Err(SessionError::CacheFull {
+            pos: prompt.len(),
+            max_seq: params.cfg.max_seq,
+        });
+    }
 
     // Fork the deepest cached ancestor (or start fresh).
     let depth = match cache {
@@ -595,7 +677,9 @@ mod tests {
         let got = engine.score_batch(jobs);
         assert!(got[0].is_ok());
         match &got[1] {
-            Err(SessionError::CacheFull { max_seq, .. }) => assert_eq!(*max_seq, cfg.max_seq),
+            Err(ServeError::Session(SessionError::CacheFull { max_seq, .. })) => {
+                assert_eq!(*max_seq, cfg.max_seq)
+            }
             other => panic!("expected CacheFull, got {other:?}"),
         }
         // Empty logit group scores -inf.

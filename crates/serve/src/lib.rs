@@ -12,8 +12,9 @@
 //!   eviction policy budgeted from [`astro_model::ModelConfig::session_bytes`].
 //! * [`engine::EvalEngine`] — fans a batch of scoring or generation jobs
 //!   across `astro_parallel::ThreadPool` workers, each with reusable
-//!   per-worker sessions, surfacing KV-cache overflow as a *per-job*
-//!   [`astro_model::SessionError`] instead of aborting the pool.
+//!   per-worker sessions, surfacing KV-cache overflow (after one uncached
+//!   retry) and job panics as a *per-job* [`engine::ServeError`] instead
+//!   of aborting the pool.
 //!
 //! # Determinism contract
 //!
@@ -28,7 +29,7 @@
 pub mod engine;
 pub mod trie;
 
-pub use engine::{EvalEngine, GenerateJob, ScoreJob, ScoreReadout};
+pub use engine::{EvalEngine, GenerateJob, ScoreJob, ScoreReadout, ServeError};
 pub use trie::{CacheStats, PrefixCache};
 
 /// How a batch is executed. `Copy` so it can ride on the eval-config

@@ -32,10 +32,15 @@ pub struct LockRank {
 /// code holding a pool or cache lock may still emit telemetry, but
 /// telemetry internals can never wait on the pool.
 pub const RANKS: &[LockRank] = &[
+    // Test-suite gates that serialise access to process-global state
+    // (e.g. the fault-injection registry) sit below every runtime lock:
+    // a test holds its gate for the whole test body.
+    LockRank { name: "test.fault_gate", rank: 2 },
     LockRank { name: "parallel.pool.receiver", rank: 10 },
     LockRank { name: "parallel.pool.pending", rank: 12 },
     LockRank { name: "parallel.device.mailbox", rank: 14 },
     LockRank { name: "serve.prefix_cache", rank: 16 },
+    LockRank { name: "resilience.fault_plan", rank: 18 },
     LockRank { name: "telemetry.metrics.registry", rank: 20 },
     LockRank { name: "telemetry.span.registry", rank: 22 },
     LockRank { name: "telemetry.sink", rank: 30 },

@@ -25,4 +25,4 @@ pub use data::{pack_documents, LmBatch, TokenStream};
 pub use optim::{clip_grad_norm, AdamW};
 pub use schedule::CosineSchedule;
 pub use sft::{render_conversations, sft_batch, SftExample};
-pub use trainer::{train_lm, BatchSource, TrainReport, TrainerConfig};
+pub use trainer::{train_lm, BatchSource, TrainError, TrainReport, TrainerConfig};

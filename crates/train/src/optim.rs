@@ -80,38 +80,42 @@ impl AdamW {
         out
     }
 
-    /// Restore from [`AdamW::to_bytes`] output.
+    /// Restore from [`AdamW::to_bytes`] output. Every read is
+    /// bounds-checked, so truncated or corrupt blobs surface as `Err`
+    /// rather than a panic.
     pub fn from_bytes(bytes: &[u8]) -> Result<AdamW, String> {
-        if bytes.len() < 36 {
-            return Err("optimizer blob too short".to_string());
+        fn array_at<const N: usize>(bytes: &[u8], o: usize) -> Result<[u8; N], String> {
+            bytes
+                .get(o..o + N)
+                .and_then(|s| s.try_into().ok())
+                .ok_or_else(|| format!("optimizer blob truncated at byte {o}"))
         }
-        let word32 = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().expect("sliced"));
-        if word32(0) != 0x41444d57 {
+        let f32_at = |o: usize| -> Result<f32, String> { Ok(f32::from_le_bytes(array_at(bytes, o)?)) };
+        if u32::from_le_bytes(array_at(bytes, 0)?) != 0x41444d57 {
             return Err("bad optimizer magic".to_string());
         }
-        let n = u64::from_le_bytes(bytes[4..12].try_into().expect("sliced")) as usize;
-        let t = u64::from_le_bytes(bytes[12..20].try_into().expect("sliced"));
+        let n = u64::from_le_bytes(array_at(bytes, 4)?) as usize;
+        let t = u64::from_le_bytes(array_at(bytes, 12)?);
         let want = 36 + n * 8;
         if bytes.len() != want {
             return Err(format!("optimizer blob length {} != {want}", bytes.len()));
         }
-        let f32_at = |o: usize| f32::from_le_bytes(bytes[o..o + 4].try_into().expect("sliced"));
         let mut m = Vec::with_capacity(n);
         let mut v = Vec::with_capacity(n);
         for i in 0..n {
-            m.push(f32_at(36 + i * 4));
+            m.push(f32_at(36 + i * 4)?);
         }
         for i in 0..n {
-            v.push(f32_at(36 + n * 4 + i * 4));
+            v.push(f32_at(36 + n * 4 + i * 4)?);
         }
         Ok(AdamW {
             m,
             v,
             t,
-            beta1: f32_at(20),
-            beta2: f32_at(24),
-            eps: f32_at(28),
-            weight_decay: f32_at(32),
+            beta1: f32_at(20)?,
+            beta2: f32_at(24)?,
+            eps: f32_at(28)?,
+            weight_decay: f32_at(32)?,
         })
     }
 }

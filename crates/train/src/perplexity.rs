@@ -106,7 +106,8 @@ mod tests {
                 ..Default::default()
             },
             &Rng::seed_from(2),
-        );
+        )
+        .expect("train");
         let (astro_after, _) = held_out_loss(&params, &astro, 16, 0);
         let (general_after, _) = held_out_loss(&params, &general, 16, 0);
         let astro_gain = astro_before - astro_after;

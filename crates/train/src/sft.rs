@@ -6,6 +6,7 @@
 //! than the window are padded; padding receives no loss.
 
 use crate::data::LmBatch;
+use crate::trainer::TrainError;
 use astro_prng::Rng;
 use astro_tokenizer::{ChatMessage, ChatTemplate, Role, Tokenizer};
 use astro_world::Conversation;
@@ -20,30 +21,35 @@ pub struct SftExample {
 }
 
 /// Map a world-side role string to the tokenizer's [`Role`].
-fn role_of(s: &str) -> Role {
+fn role_of(s: &str) -> Result<Role, TrainError> {
     match s {
-        "system" => Role::System,
-        "user" => Role::User,
-        "assistant" => Role::Assistant,
-        other => panic!("unknown conversation role {other:?}"),
+        "system" => Ok(Role::System),
+        "user" => Ok(Role::User),
+        "assistant" => Ok(Role::Assistant),
+        other => Err(TrainError::UnknownRole(other.to_string())),
     }
 }
 
-/// Render conversations through the chat template.
-pub fn render_conversations(tok: &Tokenizer, convs: &[Conversation]) -> Vec<SftExample> {
+/// Render conversations through the chat template. Fails with
+/// [`TrainError::UnknownRole`] if any turn carries a role the chat
+/// template does not define.
+pub fn render_conversations(
+    tok: &Tokenizer,
+    convs: &[Conversation],
+) -> Result<Vec<SftExample>, TrainError> {
     convs
         .iter()
         .map(|c| {
             let msgs: Vec<ChatMessage> = c
                 .turns
                 .iter()
-                .map(|t| ChatMessage::new(role_of(t.role), t.text.clone()))
-                .collect();
+                .map(|t| Ok(ChatMessage::new(role_of(t.role)?, t.text.clone())))
+                .collect::<Result<Vec<_>, TrainError>>()?;
             let r = ChatTemplate.render_training(tok, &msgs);
-            SftExample {
+            Ok(SftExample {
                 tokens: r.tokens,
                 loss_mask: r.loss_mask,
-            }
+            })
         })
         .collect()
 }
@@ -143,7 +149,7 @@ mod tests {
     #[test]
     fn rendering_marks_assistant_tokens_only() {
         let tok = tok();
-        let exs = render_conversations(&tok, &convs());
+        let exs = render_conversations(&tok, &convs()).expect("render");
         assert_eq!(exs.len(), 2);
         for ex in &exs {
             assert_eq!(ex.tokens.len(), ex.loss_mask.len());
@@ -156,7 +162,7 @@ mod tests {
     #[test]
     fn batch_pads_and_masks_padding() {
         let tok = tok();
-        let exs = render_conversations(&tok, &convs());
+        let exs = render_conversations(&tok, &convs()).expect("render");
         let mut rng = Rng::seed_from(3);
         let b = sft_batch(&exs, 4, 64, tok.pad(), &mut rng);
         assert_eq!(b.tokens.len(), 4 * 64);
@@ -177,7 +183,7 @@ mod tests {
     #[test]
     fn truncation_respects_window() {
         let tok = tok();
-        let exs = render_conversations(&tok, &convs());
+        let exs = render_conversations(&tok, &convs()).expect("render");
         let mut rng = Rng::seed_from(4);
         let b = sft_batch(&exs, 2, 4, tok.pad(), &mut rng);
         assert_eq!(b.tokens.len(), 8);
@@ -187,7 +193,7 @@ mod tests {
     #[test]
     fn loss_positions_predict_assistant_tokens() {
         let tok = tok();
-        let exs = render_conversations(&tok, &convs());
+        let exs = render_conversations(&tok, &convs()).expect("render");
         let mut rng = Rng::seed_from(5);
         let b = sft_batch(&exs, 1, 64, tok.pad(), &mut rng);
         // Wherever mask is set, the target must be a token that is marked
@@ -202,8 +208,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn unknown_role_panics() {
+    fn unknown_role_is_a_typed_error() {
         let tok = tok();
         let bad = vec![Conversation {
             kind: InstructKind::LimaLike,
@@ -212,6 +217,7 @@ mod tests {
                 text: "hi".to_string(),
             }],
         }];
-        render_conversations(&tok, &bad);
+        let err = render_conversations(&tok, &bad).unwrap_err();
+        assert_eq!(err, TrainError::UnknownRole("narrator".to_string()));
     }
 }

@@ -28,6 +28,40 @@ pub enum BatchSource<'a> {
     Sft(&'a [SftExample], u32),
 }
 
+/// Typed training failure. On any error the caller's `params` are left
+/// exactly as passed in — the loop publishes weights only on success.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TrainError {
+    /// Hyper-parameters failed [`TrainerConfig::validate`].
+    InvalidConfig(String),
+    /// The loss became non-finite at `step` — divergence, data
+    /// corruption, or the `train.nan_loss` injected fault. The update
+    /// for that step is *not* applied.
+    NonFiniteLoss {
+        /// Optimizer step at which the loss left the reals.
+        step: u64,
+        /// The offending loss value.
+        loss: f32,
+    },
+    /// A conversation turn carried a role the chat template doesn't know
+    /// (surfaced by [`crate::sft::render_conversations`]).
+    UnknownRole(String),
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::InvalidConfig(why) => write!(f, "invalid TrainerConfig: {why}"),
+            TrainError::NonFiniteLoss { step, loss } => {
+                write!(f, "non-finite loss {loss} at step {step}")
+            }
+            TrainError::UnknownRole(role) => write!(f, "unknown conversation role {role:?}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
 /// Trainer hyper-parameters.
 #[derive(Clone, Debug)]
 pub struct TrainerConfig {
@@ -143,15 +177,15 @@ struct Device {
     last_loss: f32,
 }
 
-/// Train `params` in place. Returns the training report.
+/// Train `params` in place. Returns the training report, or a typed
+/// error (invalid config, non-finite loss) with `params` untouched.
 pub fn train_lm(
     params: &mut Params,
     source: BatchSource<'_>,
     cfg: &TrainerConfig,
     rng: &Rng,
-) -> TrainReport {
-    let valid = cfg.validate();
-    assert!(valid.is_ok(), "invalid TrainerConfig: {}", valid.unwrap_err());
+) -> Result<TrainReport, TrainError> {
+    cfg.validate().map_err(TrainError::InvalidConfig)?;
     let kind = match source {
         BatchSource::Lm(_) => "lm",
         BatchSource::Sft(..) => "sft",
@@ -218,6 +252,20 @@ pub fn train_lm(
             },
             |dev| dev.grad.as_mut_slice(),
         );
+        // Abort on a non-finite loss *before* applying the update, so a
+        // diverged (or fault-injected) step never poisons the weights.
+        let mut loss0 = grid.device(0).last_loss;
+        if astro_resilience::fault::should_fault("train.nan_loss") {
+            loss0 = f32::NAN;
+        }
+        if !loss0.is_finite() {
+            astro_telemetry::Event::new("train.abort")
+                .str_field("kind", kind)
+                .u64_field("step", step)
+                .f64_field("loss", loss0 as f64)
+                .emit();
+            return Err(TrainError::NonFiniteLoss { step, loss: loss0 });
+        }
         // Identical update on every replica.
         let lr = schedule.lr_at(step);
         let mut grad_norm0 = f32::NAN;
@@ -236,7 +284,6 @@ pub fn train_lm(
         }
         steps_counter.inc();
         tokens_counter.add(step_tokens);
-        let loss0 = grid.device(0).last_loss;
         let record = step == 0
             || step + 1 == cfg.steps
             || (cfg.log_every > 0 && step % cfg.log_every == 0);
@@ -262,18 +309,21 @@ pub fn train_lm(
     }
 
     let final_loss = losses.last().map(|&(_, l)| l).unwrap_or(f32::NAN);
-    // Publish device 0's replica.
+    // Publish device 0's replica. `validate` guarantees devices >= 1, so
+    // the fallback (keep the caller's weights) is unreachable in practice.
     let replicas = grid.into_devices();
-    params.data = replicas.into_iter().next().expect("at least one device").params.data;
+    if let Some(first) = replicas.into_iter().next() {
+        params.data = first.params.data;
+    }
 
     let tokens_processed = cfg.steps * step_tokens;
     train_span.record_f64("tokens", tokens_processed as f64);
-    TrainReport {
+    Ok(TrainReport {
         steps: cfg.steps,
         tokens_processed,
         losses,
         final_loss,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -329,7 +379,8 @@ mod tests {
             BatchSource::Lm(&stream),
             &small_cfg(60),
             &Rng::seed_from(2),
-        );
+        )
+        .expect("train");
         let first = report.losses.first().unwrap().1;
         let last = report.tail_loss(3);
         assert!(last < first * 0.8, "loss {first} → {last}");
@@ -346,7 +397,8 @@ mod tests {
         let mut params = Params::init(cfg_model, &mut Rng::seed_from(3));
         let mut cfg = small_cfg(40);
         cfg.devices = 2;
-        let report = train_lm(&mut params, BatchSource::Lm(&stream), &cfg, &Rng::seed_from(4));
+        let report = train_lm(&mut params, BatchSource::Lm(&stream), &cfg, &Rng::seed_from(4))
+            .expect("train");
         assert!(report.tail_loss(3) < report.losses[0].1);
     }
 
@@ -361,7 +413,8 @@ mod tests {
                 BatchSource::Lm(&stream),
                 &small_cfg(10),
                 &Rng::seed_from(seed),
-            );
+            )
+            .expect("train");
             p.data
         };
         assert_eq!(run(7), run(7));
@@ -375,7 +428,7 @@ mod tests {
         let mut params = Params::init(cfg_model, &mut Rng::seed_from(6));
         let mut cfg = small_cfg(5);
         cfg.bf16_weights = true;
-        train_lm(&mut params, BatchSource::Lm(&stream), &cfg, &Rng::seed_from(7));
+        train_lm(&mut params, BatchSource::Lm(&stream), &cfg, &Rng::seed_from(7)).expect("train");
         for &w in params.data.iter().take(500) {
             assert_eq!(w, astro_tensor::bf16::bf16_round(w), "weight not bf16: {w}");
         }
@@ -399,7 +452,7 @@ mod tests {
                 ],
             })
             .collect();
-        let examples = render_conversations(&tok, &convs);
+        let examples = render_conversations(&tok, &convs).expect("render");
         let cfg_model = ModelConfig::tiny(tok.vocab_size());
         let mut params = Params::init(cfg_model, &mut Rng::seed_from(8));
         let report = train_lm(
@@ -407,7 +460,8 @@ mod tests {
             BatchSource::Sft(&examples, tok.pad()),
             &small_cfg(60),
             &Rng::seed_from(9),
-        );
+        )
+        .expect("train");
         assert!(
             report.tail_loss(3) < report.losses[0].1 * 0.9,
             "SFT loss {} → {}",
@@ -423,7 +477,8 @@ mod tests {
         let mut params = Params::init(cfg_model, &mut Rng::seed_from(10));
         let mut cfg = small_cfg(8);
         cfg.grad_accum = 3;
-        let report = train_lm(&mut params, BatchSource::Lm(&stream), &cfg, &Rng::seed_from(11));
+        let report = train_lm(&mut params, BatchSource::Lm(&stream), &cfg, &Rng::seed_from(11))
+            .expect("train");
         assert_eq!(report.tokens_processed, 8 * 3 * 4 * 24);
     }
 
@@ -436,5 +491,38 @@ mod tests {
             final_loss: 2.0,
         };
         assert_eq!(r.tail_loss(5), 2.0);
+    }
+
+    #[test]
+    fn invalid_config_is_a_typed_error() {
+        let (tok, stream) = tok_and_stream();
+        let cfg_model = ModelConfig::tiny(tok.vocab_size());
+        let mut params = Params::init(cfg_model, &mut Rng::seed_from(1));
+        let mut cfg = small_cfg(10);
+        cfg.steps = 0;
+        let before = params.data.clone();
+        let err = train_lm(&mut params, BatchSource::Lm(&stream), &cfg, &Rng::seed_from(2))
+            .unwrap_err();
+        assert!(matches!(err, TrainError::InvalidConfig(_)), "{err}");
+        assert_eq!(params.data, before, "params must be untouched on error");
+    }
+
+    #[test]
+    fn diverging_loss_is_a_typed_error_and_params_survive() {
+        // An absurd learning rate blows the weights up within a step or
+        // two; the loop must surface NonFiniteLoss instead of publishing
+        // garbage weights. (The injected `train.nan_loss` variant of this
+        // is exercised by the workspace chaos suite, which serialises
+        // access to the global fault plan.)
+        let (tok, stream) = tok_and_stream();
+        let cfg_model = ModelConfig::tiny(tok.vocab_size());
+        let mut params = Params::init(cfg_model, &mut Rng::seed_from(1));
+        let before = params.data.clone();
+        let mut cfg = small_cfg(20);
+        cfg.lr = 1e30;
+        let err = train_lm(&mut params, BatchSource::Lm(&stream), &cfg, &Rng::seed_from(2))
+            .unwrap_err();
+        assert!(matches!(err, TrainError::NonFiniteLoss { .. }), "{err}");
+        assert_eq!(params.data, before, "diverged run must not publish weights");
     }
 }

@@ -23,7 +23,7 @@ use astromlab::{Study, StudyConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let study = Study::prepare(StudyConfig::smoke(7));
+    let study = Study::prepare(StudyConfig::smoke(7)).expect("prepare");
 
     let (params, tokenizer): (Params, Tokenizer) = match (args.get(1), args.get(2)) {
         (Some(ckpt), Some(tok_path)) => {
@@ -35,7 +35,7 @@ fn main() {
         }
         _ => {
             println!("(no checkpoint given — training a smoke-scale native model first)");
-            let (p, _) = study.pretrain_native(Tier::S8b);
+            let (p, _) = study.pretrain_native(Tier::S8b).expect("pretrain");
             (p, study.tokenizer.clone())
         }
     };

@@ -19,7 +19,7 @@ use astromlab::{Study, StudyConfig};
 fn main() {
     let config = StudyConfig::smoke(42);
     println!("Preparing synthetic world + benchmark (seed {}) ...", config.seed);
-    let study = Study::prepare(config);
+    let study = Study::prepare(config).expect("prepare");
     println!(
         "  world: {} articles, {} facts | benchmark: {} MCQs (+{} exemplars) | vocab: {}",
         study.world.articles.len(),
@@ -30,7 +30,7 @@ fn main() {
     );
 
     println!("Pretraining the native 70B-class stand-in ...");
-    let (native, report) = study.pretrain_native(Tier::S70b);
+    let (native, report) = study.pretrain_native(Tier::S70b).expect("pretrain");
     println!(
         "  {} steps, {} tokens, loss {:.3} → {:.3}",
         report.steps,
@@ -40,7 +40,7 @@ fn main() {
     );
 
     println!("Continual pretraining on the AIC recipe ...");
-    let (astro, cpt_report) = study.cpt(&native, CorpusRecipe::Aic);
+    let (astro, cpt_report) = study.cpt(&native, CorpusRecipe::Aic).expect("cpt");
     println!(
         "  {} steps, loss {:.3} → {:.3}",
         cpt_report.steps,

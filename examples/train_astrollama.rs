@@ -39,14 +39,14 @@ fn main() {
     std::fs::create_dir_all(&out_dir).expect("create output dir");
 
     println!("== AstroLLaMA trainer: tier {} recipe {} ==", tier.label(), recipe.label());
-    let study = Study::prepare(StudyConfig::smoke(7));
+    let study = Study::prepare(StudyConfig::smoke(7)).expect("prepare");
 
     println!("[1/3] pretraining native base ({} params) ...", study.model_config(tier).param_count());
-    let (native, _) = study.pretrain_native(tier);
+    let (native, _) = study.pretrain_native(tier).expect("pretrain");
 
     println!("[2/3] continual pretraining on {} corpus ({} tokens packed) ...",
-        recipe.label(), study.cpt_stream(recipe).len());
-    let (base, cpt_report) = study.cpt(&native, recipe);
+        recipe.label(), study.cpt_stream(recipe).expect("prepared").len());
+    let (base, cpt_report) = study.cpt(&native, recipe).expect("cpt");
     println!(
         "      CPT loss {:.3} → {:.3}",
         cpt_report.losses.first().map(|&(_, l)| l).unwrap_or(f32::NAN),
@@ -54,7 +54,7 @@ fn main() {
     );
 
     println!("[3/3] SFT on the paper's conversation mixture ({} examples) ...", study.sft_examples.len());
-    let (instruct, sft_report) = study.sft(&base, "example");
+    let (instruct, sft_report) = study.sft(&base, "example").expect("sft");
     println!(
         "      SFT loss {:.3} → {:.3}",
         sft_report.losses.first().map(|&(_, l)| l).unwrap_or(f32::NAN),

@@ -8,8 +8,8 @@ use astromlab::{Study, StudyConfig};
 
 #[test]
 fn saved_model_scores_identically_after_reload() {
-    let study = Study::prepare(StudyConfig::smoke(301));
-    let (native, _) = study.pretrain_native(Tier::S7b);
+    let study = Study::prepare(StudyConfig::smoke(301)).expect("prepare");
+    let (native, _) = study.pretrain_native(Tier::S7b).expect("pretrain");
     let before = study.eval(&native, Method::TokenBase);
 
     let dir = std::env::temp_dir().join("astromlab_integration");
@@ -27,7 +27,7 @@ fn saved_model_scores_identically_after_reload() {
 
 #[test]
 fn tokenizer_blob_round_trips_through_disk() {
-    let study = Study::prepare(StudyConfig::smoke(302));
+    let study = Study::prepare(StudyConfig::smoke(302)).expect("prepare");
     let dir = std::env::temp_dir().join("astromlab_integration");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("tok.bin");

@@ -8,8 +8,8 @@ use astromlab::{Study, StudyConfig};
 #[test]
 fn same_seed_reproduces_scores_bitwise() {
     let run = |seed: u64| {
-        let study = Study::prepare(StudyConfig::smoke(seed));
-        let (native, _) = study.pretrain_native(Tier::S7b);
+        let study = Study::prepare(StudyConfig::smoke(seed)).expect("prepare");
+        let (native, _) = study.pretrain_native(Tier::S7b).expect("pretrain");
         let score = study.eval(&native, Method::TokenBase);
         (native.data, score.correct, score.total)
     };
@@ -21,8 +21,8 @@ fn same_seed_reproduces_scores_bitwise() {
 
 #[test]
 fn different_seeds_give_different_worlds_and_weights() {
-    let s1 = Study::prepare(StudyConfig::smoke(1));
-    let s2 = Study::prepare(StudyConfig::smoke(2));
+    let s1 = Study::prepare(StudyConfig::smoke(1)).expect("prepare");
+    let s2 = Study::prepare(StudyConfig::smoke(2)).expect("prepare");
     // Worlds differ.
     let same_facts = s1
         .world
@@ -41,8 +41,8 @@ fn different_seeds_give_different_worlds_and_weights() {
 
 #[test]
 fn tokenizer_is_deterministic_across_preparations() {
-    let a = Study::prepare(StudyConfig::smoke(77));
-    let b = Study::prepare(StudyConfig::smoke(77));
+    let a = Study::prepare(StudyConfig::smoke(77)).expect("prepare");
+    let b = Study::prepare(StudyConfig::smoke(77)).expect("prepare");
     assert_eq!(a.tokenizer.vocab_size(), b.tokenizer.vocab_size());
     let text = "The redshift of NGC-382 is 0.45.";
     assert_eq!(a.tokenizer.encode(text), b.tokenizer.encode(text));

@@ -62,7 +62,7 @@ fn assert_token_parity(reference: &[TokenOutcome], got: &[TokenOutcome], label: 
 fn token_method_engine_matches_serial_bitwise_both_readouts() {
     // The CI-sized preset; an untrained model exercises the identical
     // arithmetic (training state does not change the execution path).
-    let study = Study::prepare(StudyConfig::smoke(11));
+    let study = Study::prepare(StudyConfig::smoke(11)).expect("prepare");
     let params = Params::init(study.model_config(Tier::S7b), &mut Rng::seed_from(1));
     let model = EvalModel {
         params: &params,
@@ -91,7 +91,7 @@ fn token_method_engine_matches_serial_bitwise_both_readouts() {
 
 #[test]
 fn token_method_parity_holds_without_variant_detection_and_zero_shot() {
-    let study = Study::prepare(StudyConfig::smoke(12));
+    let study = Study::prepare(StudyConfig::smoke(12)).expect("prepare");
     let params = Params::init(study.model_config(Tier::S8b), &mut Rng::seed_from(2));
     let model = EvalModel {
         params: &params,
@@ -121,7 +121,7 @@ fn token_method_parity_holds_without_variant_detection_and_zero_shot() {
 
 #[test]
 fn instruct_method_engine_matches_serial_exactly() {
-    let study = Study::prepare(StudyConfig::smoke(13));
+    let study = Study::prepare(StudyConfig::smoke(13)).expect("prepare");
     let params = Params::init(study.model_config(Tier::S7b), &mut Rng::seed_from(3));
     let model = EvalModel {
         params: &params,
@@ -157,7 +157,7 @@ fn prefix_cache_actually_fires_on_the_grouped_workload() {
     // Parity alone could be trivially satisfied by a cache that never
     // hits; assert the smoke workload (5 questions per article sharing a
     // two-shot preamble) produces real reuse.
-    let study = Study::prepare(StudyConfig::smoke(11));
+    let study = Study::prepare(StudyConfig::smoke(11)).expect("prepare");
     let params = Params::init(study.model_config(Tier::S7b), &mut Rng::seed_from(1));
     let model = EvalModel {
         params: &params,
@@ -197,7 +197,7 @@ fn overlong_prompt_fails_one_question_and_the_sweep_completes() {
     // The bugfix contract: a prompt that overflows the KV cache surfaces
     // as that job's SessionError::CacheFull; every other question in the
     // sweep still scores.
-    let study = Study::prepare(StudyConfig::smoke(14));
+    let study = Study::prepare(StudyConfig::smoke(14)).expect("prepare");
     let params = Params::init(study.model_config(Tier::S7b), &mut Rng::seed_from(4));
     let engine = EvalEngine::new(EngineConfig::pooled_with(2), &params);
     let good = ScoreJob {

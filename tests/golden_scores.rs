@@ -81,13 +81,13 @@ fn smoke_scores_recomputed_through_engine_match_golden() {
     // Full pipeline at smoke scale — train all models, evaluate through
     // the pooled prefix-cached engine (the smoke preset's default), and
     // require the rendered scores to be *exactly* the checked-in golden.
-    let study = Study::prepare(StudyConfig::smoke(11));
+    let study = Study::prepare(StudyConfig::smoke(11)).expect("prepare");
     assert!(
         !study.config.eval_engine.is_serial_uncached(),
         "smoke preset must default to the pooled engine for this test \
          to guard the parallel path"
     );
-    let result = study.run_table1();
+    let result = study.run_table1().expect("run_table1");
     let got = &result.figure1_csv;
     if std::env::var_os("GOLDEN_REGEN").is_some() {
         std::fs::write(repo_path(SMOKE_GOLDEN), got).expect("write golden");
@@ -103,7 +103,7 @@ fn smoke_scores_recomputed_through_engine_match_golden() {
 #[test]
 #[ignore = "fast preset takes ~1h; tier-1 covers smoke scale"]
 fn fast_scores_recomputed_through_engine_match_recorded_artifact() {
-    let study = Study::prepare(StudyConfig::fast(42));
-    let result = study.run_table1();
+    let study = Study::prepare(StudyConfig::fast(42)).expect("prepare");
+    let result = study.run_table1().expect("run_table1");
     assert_scores_match(&read(FAST_GOLDEN), &result.figure1_csv, "fast(42) figure1 CSV");
 }

@@ -9,10 +9,10 @@ use astromlab::{Study, StudyConfig};
 
 #[test]
 fn one_model_line_end_to_end() {
-    let study = Study::prepare(StudyConfig::smoke(101));
+    let study = Study::prepare(StudyConfig::smoke(101)).expect("prepare");
 
     // Pretrain the smallest native.
-    let (native, pre_report) = study.pretrain_native(Tier::S7b);
+    let (native, pre_report) = study.pretrain_native(Tier::S7b).expect("pretrain");
     assert!(
         pre_report.tail_loss(2) < pre_report.losses[0].1,
         "pretraining must reduce loss: {:?}",
@@ -20,11 +20,11 @@ fn one_model_line_end_to_end() {
     );
 
     // CPT on the AIC recipe.
-    let (base, cpt_report) = study.cpt(&native, CorpusRecipe::Aic);
+    let (base, cpt_report) = study.cpt(&native, CorpusRecipe::Aic).expect("cpt");
     assert!(cpt_report.final_loss.is_finite());
 
     // SFT into an instruct model.
-    let (instruct, sft_report) = study.sft(&base, "integration");
+    let (instruct, sft_report) = study.sft(&base, "integration").expect("sft");
     assert!(sft_report.final_loss.is_finite());
 
     // All three methods produce valid scores.
@@ -41,14 +41,14 @@ fn one_model_line_end_to_end() {
 
 #[test]
 fn cpt_stays_stable_on_astro_text() {
-    let study = Study::prepare(StudyConfig::smoke(102));
-    let (native, _) = study.pretrain_native(Tier::S7b);
+    let study = Study::prepare(StudyConfig::smoke(102)).expect("prepare");
+    let (native, _) = study.pretrain_native(Tier::S7b).expect("pretrain");
 
     // At smoke scale (15 steps, paper-relation CPT LR) the loss barely
     // moves; the invariant is stability, not reduction — the reduction is
     // asserted at realistic scale by astro-train's perplexity tests and
     // the recorded experiment runs.
-    let (_, report) = study.cpt(&native, CorpusRecipe::Aic);
+    let (_, report) = study.cpt(&native, CorpusRecipe::Aic).expect("cpt");
     assert!(report.final_loss.is_finite());
     assert!(
         report.tail_loss(2) <= report.losses[0].1 * 1.15,
@@ -59,11 +59,11 @@ fn cpt_stays_stable_on_astro_text() {
 
 #[test]
 fn all_three_recipes_produce_distinct_models() {
-    let study = Study::prepare(StudyConfig::smoke(103));
-    let (native, _) = study.pretrain_native(Tier::S7b);
-    let (abstract_m, _) = study.cpt(&native, CorpusRecipe::Abstract);
-    let (aic_m, _) = study.cpt(&native, CorpusRecipe::Aic);
-    let (summary_m, _) = study.cpt(&native, CorpusRecipe::Summary);
+    let study = Study::prepare(StudyConfig::smoke(103)).expect("prepare");
+    let (native, _) = study.pretrain_native(Tier::S7b).expect("pretrain");
+    let (abstract_m, _) = study.cpt(&native, CorpusRecipe::Abstract).expect("cpt");
+    let (aic_m, _) = study.cpt(&native, CorpusRecipe::Aic).expect("cpt");
+    let (summary_m, _) = study.cpt(&native, CorpusRecipe::Summary).expect("cpt");
     assert_ne!(abstract_m.data, aic_m.data);
     assert_ne!(aic_m.data, summary_m.data);
     assert_ne!(abstract_m.data, native.data);

@@ -1,0 +1,231 @@
+//! Chaos harness: deterministic fault injection against the resumable
+//! study pipeline (`Study::run_study`).
+//!
+//! What is proven here:
+//!
+//! * **Kill at every ledger boundary.** A `study.stage_boundary` fault
+//!   aborts the run immediately after each stage becomes durable; the
+//!   sweep kills a single run lineage at *every* boundary in turn and
+//!   resumes each time, so each of the ~37 micro-preset stages is
+//!   crossed exactly once by a process that then "crashed". The final
+//!   resumed result must be bitwise identical (CSV string equality and
+//!   `f64::to_bits` on every score) to an uninterrupted in-memory run.
+//! * **Golden tie-in.** At smoke scale, a run killed mid-pipeline and
+//!   resumed must reproduce `goldens/figure1_smoke_seed11.golden`
+//!   exactly — resume is held to the same regression baseline as the
+//!   uninterrupted pipeline.
+//! * **No fault escapes as a panic.** For every fault site in
+//!   [`astro_resilience::SITES`], a single injected fault either (a) is
+//!   absorbed and the result is bitwise identical, or (b) surfaces as a
+//!   typed [`StudyError`] after which a resume completes bitwise
+//!   identically. `catch_unwind` asserts no panic crosses the API.
+//! * **Durability edge cases.** A torn ledger tail (crash mid-append)
+//!   and a truncated checkpoint are both detected and rebuilt, never
+//!   trusted.
+//!
+//! The fault registry is process-global, so every test takes `GATE`
+//! first; this file is its own test binary, and cargo runs binaries
+//! sequentially, so no other test can observe an armed plan.
+
+use astro_resilience::fault::{self, FaultPlan};
+use astro_resilience::{Journal, SITES};
+use astromlab::study::{StudyError, StudyResult};
+use astromlab::{Study, StudyConfig};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+static GATE: Mutex<()> = Mutex::new(());
+
+fn locked() -> MutexGuard<'static, ()> {
+    GATE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("astro-chaos-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn micro_study() -> Study {
+    Study::prepare(StudyConfig::micro(11)).expect("micro prepare")
+}
+
+fn ledger_lines(dir: &Path) -> Vec<String> {
+    Journal::at(&dir.join("ledger.jsonl")).lines().expect("readable ledger")
+}
+
+/// Every score as raw bits: `==` on these is bitwise equality, immune to
+/// NaN/-0.0 subtleties that `f64: PartialEq` could mask.
+fn score_bits(r: &StudyResult) -> Vec<[Option<u64>; 3]> {
+    r.scores.iter().map(|(_, s)| s.map(|v| v.map(f64::to_bits))).collect()
+}
+
+/// The uninterrupted in-memory baseline for `micro(11)`, computed once
+/// per process (callers hold `GATE` and have cleared any fault plan).
+fn micro_baseline() -> &'static StudyResult {
+    static BASELINE: OnceLock<StudyResult> = OnceLock::new();
+    BASELINE.get_or_init(|| micro_study().run_table1().expect("baseline run_table1"))
+}
+
+fn assert_bitwise_identical(got: &StudyResult, want: &StudyResult, context: &str) {
+    assert_eq!(got.figure1_csv, want.figure1_csv, "{context}: figure1 CSV drifted");
+    assert_eq!(score_bits(got), score_bits(want), "{context}: score bits drifted");
+}
+
+#[test]
+fn kill_at_every_ledger_boundary_then_resume_is_bitwise_identical() {
+    let _g = locked();
+    fault::clear();
+    let study = micro_study();
+    let base = micro_baseline();
+    let dir = fresh_dir("boundary-sweep");
+
+    // Each iteration resumes the same lineage with a fault armed to fire
+    // at the FIRST fresh stage boundary: completed stages replay from
+    // the ledger (no boundary crossing), the next stage runs, commits,
+    // and the run "crashes". Every boundary is therefore killed at
+    // exactly once across the sweep.
+    let mut kills = 0usize;
+    let result = loop {
+        fault::install(FaultPlan::single("study.stage_boundary", 1));
+        let outcome = study.run_study(&dir);
+        fault::clear();
+        match outcome {
+            Err(StudyError::Interrupted { site, stage }) => {
+                kills += 1;
+                assert!(kills < 200, "boundary sweep did not converge");
+                assert_eq!(site, "study.stage_boundary");
+                // The interrupted stage was durable before the "crash":
+                // fingerprint + one ledger line per killed boundary.
+                let lines = ledger_lines(&dir);
+                assert_eq!(
+                    lines.len(),
+                    kills + 1,
+                    "after killing at stage {stage} the ledger should hold \
+                     exactly the completed stages"
+                );
+            }
+            Err(other) => panic!("boundary sweep hit an unexpected error: {other}"),
+            // A full-replay pass crossed no fresh boundary: done.
+            Ok(r) => break r,
+        }
+    };
+    let stages = ledger_lines(&dir).len() - 1; // minus fingerprint line
+    assert_eq!(kills, stages, "every ledger boundary must have been killed at once");
+    assert!(stages > 30, "micro preset should exercise all pipeline stages, got {stages}");
+    assert_bitwise_identical(&result, base, "boundary sweep");
+}
+
+#[test]
+fn any_single_injected_fault_is_typed_or_absorbed_never_a_panic() {
+    let _g = locked();
+    fault::clear();
+    let study = micro_study();
+    let base = micro_baseline();
+    // One deterministic hit count per site, spread so faults land in
+    // different pipeline phases (early training, mid-run, deep eval).
+    let hits: &[u64] = &[3, 1, 5, 2, 7, 4];
+    assert_eq!(hits.len(), SITES.len(), "one planned hit per fault site");
+    for (site, &hit) in SITES.iter().zip(hits) {
+        let dir = fresh_dir(&format!("prop-{}", site.replace('.', "-")));
+        fault::install(FaultPlan::single(site, hit));
+        let outcome = catch_unwind(AssertUnwindSafe(|| study.run_study(&dir)));
+        fault::clear();
+        let outcome =
+            outcome.unwrap_or_else(|_| panic!("fault {site}@{hit} escaped as a panic"));
+        match outcome {
+            // Absorbed (degraded pool, uncached retry, unfired trigger):
+            // the result must not have been perturbed.
+            Ok(r) => assert_bitwise_identical(&r, base, &format!("absorbed fault {site}@{hit}")),
+            // Surfaced: must be typed (it is, by construction) and the
+            // ledger must support a clean, identical resume.
+            Err(err) => {
+                let resumed = study.run_study(&dir).unwrap_or_else(|e| {
+                    panic!("resume after fault {site}@{hit} ({err}) failed: {e}")
+                });
+                assert_bitwise_identical(
+                    &resumed,
+                    base,
+                    &format!("resume after fault {site}@{hit} ({err})"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn torn_ledger_tail_and_truncated_checkpoint_are_rebuilt() {
+    let _g = locked();
+    fault::clear();
+    let study = micro_study();
+    let dir = fresh_dir("durability");
+    let first = study.run_study(&dir).expect("first run");
+    assert_bitwise_identical(&first, micro_baseline(), "uninterrupted run_study");
+
+    // Crash mid-append: a torn (newline-less) trailing line must be
+    // dropped on replay, not poison the ledger.
+    let ledger = dir.join("ledger.jsonl");
+    let mut bytes = std::fs::read(&ledger).expect("ledger bytes");
+    bytes.extend_from_slice(br#"{"stage":"torn-"#);
+    std::fs::write(&ledger, &bytes).expect("append torn tail");
+
+    // Bit rot / partial write: a ledgered checkpoint that no longer
+    // matches its recorded digest must be rebuilt, not loaded.
+    let victim = dir.join("native-7B-class.ckpt");
+    let ckpt = std::fs::read(&victim).expect("checkpoint bytes");
+    std::fs::write(&victim, &ckpt[..ckpt.len() / 2]).expect("truncate checkpoint");
+
+    let second = study.run_study(&dir).expect("re-run over damaged artifacts");
+    assert_bitwise_identical(&second, &first, "re-run after torn tail + truncated checkpoint");
+}
+
+#[test]
+fn ledger_of_a_different_study_is_rejected() {
+    let _g = locked();
+    fault::clear();
+    let dir = fresh_dir("foreign");
+    // Populate the ledger cheaply: kill the first run at its first
+    // stage boundary.
+    let study = micro_study();
+    fault::install(FaultPlan::single("study.stage_boundary", 1));
+    let outcome = study.run_study(&dir);
+    fault::clear();
+    assert!(matches!(outcome, Err(StudyError::Interrupted { .. })));
+
+    let other = Study::prepare(StudyConfig::micro(12)).expect("prepare seed 12");
+    match other.run_study(&dir) {
+        Err(StudyError::Ledger(msg)) => {
+            assert!(msg.contains("fingerprint"), "unexpected message: {msg}")
+        }
+        Ok(_) => panic!("a foreign ledger must not be resumed"),
+        Err(other) => panic!("expected a Ledger error, got {other}"),
+    }
+}
+
+#[test]
+fn killed_and_resumed_smoke_run_reproduces_the_golden() {
+    let _g = locked();
+    fault::clear();
+    let study = Study::prepare(StudyConfig::smoke(11)).expect("smoke prepare");
+    let dir = fresh_dir("smoke-golden");
+
+    // Kill mid-pipeline (boundary 15 lands inside the CPT/SFT stages).
+    fault::install(FaultPlan::single("study.stage_boundary", 15));
+    let outcome = study.run_study(&dir);
+    fault::clear();
+    assert!(
+        matches!(outcome, Err(StudyError::Interrupted { .. })),
+        "the mid-run kill should interrupt the smoke run"
+    );
+
+    let resumed = study.run_study(&dir).expect("resume");
+    let golden_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("goldens/figure1_smoke_seed11.golden");
+    let golden = std::fs::read_to_string(golden_path).expect("checked-in smoke golden");
+    assert_eq!(
+        resumed.figure1_csv, golden,
+        "a killed-and-resumed smoke run must reproduce the same golden \
+         scores as the uninterrupted pipeline (see tests/golden_scores.rs)"
+    );
+}
