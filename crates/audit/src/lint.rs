@@ -43,6 +43,8 @@ const SPAN_REQUIRED: &[(&str, &str)] = &[
     ("crates/eval/src/score.rs", "evaluate"),
     ("crates/serve/src/engine.rs", "score_batch"),
     ("crates/serve/src/engine.rs", "generate_batch"),
+    ("crates/gateway/src/server.rs", "serve_connection"),
+    ("crates/gateway/src/scheduler.rs", "dispatch_batch"),
 ];
 
 /// One raw lint hit before allowlist filtering.

@@ -1,9 +1,10 @@
 //! Static lock-order analysis over the workspace's annotated lock sites.
 //!
-//! Every `Mutex::lock()` call in `crates/parallel`, `crates/serve` and
-//! `crates/telemetry` is preceded by a `lockcheck::acquire("<lock name>")`
-//! annotation (see
-//! [`astro_telemetry::lockcheck`]). This pass re-derives the
+//! Every `Mutex::lock()` call in `crates/parallel`, `crates/serve`,
+//! `crates/resilience`, `crates/telemetry` and `crates/gateway` is either
+//! preceded by a `lockcheck::acquire("<lock name>")` annotation or taken
+//! through the combined `lockcheck::lock_ranked("<lock name>", …)` helper
+//! (see [`astro_telemetry::lockcheck`]). This pass re-derives the
 //! lock-acquisition graph from source text alone:
 //!
 //! * `locks.unknown` — an annotation names a lock with no declared rank.
@@ -116,10 +117,14 @@ fn strip_noise(line: &str, in_block_comment: &mut bool) -> String {
     out
 }
 
-/// Extract the lock name from a `lockcheck::acquire("…")` call, if any.
+/// Extract the lock name from a `lockcheck::acquire("…")` or
+/// `lockcheck::lock_ranked("…", …)` call, if any. The combined helper
+/// both annotates and takes the lock, so a site using it needs no
+/// separate `.lock()` within the annotation window.
 fn acquire_name(line: &str) -> Option<&str> {
-    let idx = line.find("lockcheck::acquire(")?;
-    let rest = &line[idx + "lockcheck::acquire(".len()..];
+    let rest = ["lockcheck::acquire(", "lockcheck::lock_ranked("]
+        .iter()
+        .find_map(|pat| line.find(pat).map(|idx| &line[idx + pat.len()..]))?;
     let start = rest.find('"')? + 1;
     let end = start + rest[start..].find('"')?;
     Some(&rest[start..end])
@@ -279,8 +284,8 @@ fn find_cycle(edges: &[(String, String)]) -> Option<Vec<String>> {
 }
 
 /// Run the full static lock-order pass over `<root>/crates/parallel/src`,
-/// `<root>/crates/serve/src`, `<root>/crates/resilience/src` and
-/// `<root>/crates/telemetry/src`.
+/// `<root>/crates/serve/src`, `<root>/crates/resilience/src`,
+/// `<root>/crates/telemetry/src` and `<root>/crates/gateway/src`.
 pub fn analyze_locks(root: &Path) -> LockReport {
     let mut report = LockReport::default();
     let mut files = Vec::new();
@@ -289,6 +294,7 @@ pub fn analyze_locks(root: &Path) -> LockReport {
         "crates/serve/src",
         "crates/resilience/src",
         "crates/telemetry/src",
+        "crates/gateway/src",
     ] {
         rust_files(&root.join(crate_dir), &mut files);
     }
@@ -296,8 +302,8 @@ pub fn analyze_locks(root: &Path) -> LockReport {
         report.diagnostics.push(Diagnostic::error(
             "locks.no-sources",
             &root.display().to_string(),
-            "no Rust sources found under crates/parallel, crates/serve, crates/resilience \
-             or crates/telemetry"
+            "no Rust sources found under crates/parallel, crates/serve, crates/resilience, \
+             crates/telemetry or crates/gateway"
                 .to_string(),
         ));
         return report;
@@ -372,6 +378,12 @@ mod tests {
         assert_eq!(
             acquire_name("let _o = astro_telemetry::lockcheck::acquire(\"telemetry.sink\");"),
             Some("telemetry.sink")
+        );
+        assert_eq!(
+            acquire_name(
+                "let (_o, g) = crate::lockcheck::lock_ranked(\"gateway.queue\", &self.inner);"
+            ),
+            Some("gateway.queue")
         );
         assert_eq!(acquire_name("let x = foo();"), None);
     }

@@ -1,0 +1,427 @@
+//! Load-test the astro-gateway HTTP front-end over real sockets:
+//! batched-over-socket throughput vs the serial single-request path,
+//! bitwise answer parity, admission-control probes, and graceful drain.
+//!
+//! ```sh
+//! cargo run --release -p astro-bench --bin gateway_load -- [micro|smoke|fast|full] [seed]
+//! cargo run --release -p astro-bench --bin gateway_load -- --serve [port]
+//! ```
+//!
+//! The bench run has four phases, all against an untrained S7b model
+//! (training state does not change the serving path):
+//!
+//! 1. **serial** — a gateway with `EngineConfig::serial()` and
+//!    `max_batch: 1`, driven by ONE sequential client: the no-batching,
+//!    no-cache baseline, still paying full HTTP cost per request;
+//! 2. **batched** — a gateway with the pooled engine and a 10ms
+//!    micro-batching window, driven by 8 concurrent clients; every
+//!    response is checked **bitwise** (via `score_bits`) against the
+//!    in-process serial reference;
+//! 3. **admission** — a strict gateway (tight rate limit, small body
+//!    bound, queue capacity 1) probed for deterministic 429 / 413 and an
+//!    overload burst that must surface 503 backpressure;
+//! 4. **drain** — a shutdown mid-burst that must answer every accepted
+//!    request.
+//!
+//! Results land in `BENCH_gateway.json`; the contract checks run last
+//! and exit non-zero on violation. `--serve` instead parks a gateway on
+//! a fixed port for manual curl exploration (see docs/SERVING.md).
+
+use astro_bench::{instrumented_run, JsonObject};
+use astro_gateway::{client, Gateway, GatewayConfig, GatewayState};
+use astro_telemetry::event::write_json_string;
+use astro_telemetry::{info, metrics};
+use astromlab::eval::json::Json;
+use astromlab::eval::{token_method_predict, EvalModel, InstructEvalConfig, TokenEvalConfig};
+use astromlab::mcq::Mcq;
+use astromlab::model::{Params, Tier};
+use astromlab::prng::Rng;
+use astromlab::serve::EngineConfig;
+use astromlab::{Study, StudyConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const TIMEOUT: Duration = Duration::from_secs(60);
+const CLIENTS: usize = 8;
+
+fn state_for(study: &Study, params: &Arc<Params>) -> GatewayState {
+    GatewayState {
+        params: Arc::clone(params),
+        tokenizer: Arc::new(study.tokenizer.clone()),
+        exemplars: Arc::new(study.mcq.exemplars.clone()),
+        token_config: TokenEvalConfig::default(),
+        instruct_config: InstructEvalConfig::default(),
+    }
+}
+
+fn score_request_body(q: &Mcq, client_id: &str) -> String {
+    let mut out = String::from("{\"question\":");
+    write_json_string(&mut out, &q.question);
+    out.push_str(",\"options\":[");
+    for (i, opt) in q.options.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_json_string(&mut out, opt);
+    }
+    out.push_str(&format!("],\"group\":{},\"client\":", q.article));
+    write_json_string(&mut out, client_id);
+    out.push('}');
+    out
+}
+
+/// Extract the `score_bits` array from a 200 response body.
+fn response_bits(body: &str) -> Result<Vec<u32>, String> {
+    let v = Json::parse(body).map_err(|e| format!("unparseable body: {e}"))?;
+    let Some(Json::Array(items)) = v.get("score_bits") else {
+        return Err(format!("no score_bits in {body}"));
+    };
+    items
+        .iter()
+        .map(|i| match i {
+            Json::Number(n) => Ok(*n as u32),
+            other => Err(format!("non-numeric bit {other:?}")),
+        })
+        .collect()
+}
+
+/// Send every question once, sequentially, asserting 200 + parity.
+/// Returns the first parity failure, if any.
+fn drive_serial(
+    addr: std::net::SocketAddr,
+    questions: &[Mcq],
+    refs: &[Vec<u32>],
+    client_id: &str,
+) -> Option<String> {
+    for (i, q) in questions.iter().enumerate() {
+        let body = score_request_body(q, client_id);
+        let resp = match client::post_json(addr, "/v1/score", &body, TIMEOUT) {
+            Ok(r) => r,
+            Err(e) => return Some(format!("q{i}: transport: {e}")),
+        };
+        if resp.status != 200 {
+            return Some(format!("q{i}: status {}: {}", resp.status, resp.body));
+        }
+        match response_bits(&resp.body) {
+            Ok(bits) if bits == refs[i] => {}
+            Ok(bits) => return Some(format!("q{i}: bits {bits:?} != {:?}", refs[i])),
+            Err(e) => return Some(format!("q{i}: {e}")),
+        }
+    }
+    None
+}
+
+fn hist_summary(name: &str) -> Option<astro_telemetry::metrics::HistSummary> {
+    metrics::snapshot()
+        .histograms
+        .into_iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, h)| h)
+}
+
+fn serve_forever(port: u16) -> ! {
+    let study = Study::prepare(StudyConfig::smoke(11)).expect("prepare");
+    let params = Arc::new(Params::init(
+        study.model_config(Tier::S7b),
+        &mut Rng::seed_from(11),
+    ));
+    let config = GatewayConfig {
+        bind: format!("127.0.0.1:{port}"),
+        ..GatewayConfig::default()
+    };
+    let gw = Gateway::spawn(config, state_for(&study, &params)).expect("spawn gateway");
+    info!("gateway_load --serve: listening on {}", gw.addr());
+    info!("try: curl -s http://{}/healthz", gw.addr());
+    info!(
+        "try: curl -s -X POST http://{}/v1/score -d '{}'",
+        gw.addr(),
+        score_request_body(&study.mcq.exemplars[0], "curl")
+    );
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--serve") {
+        let port = args
+            .iter()
+            .skip_while(|a| *a != "--serve")
+            .nth(1)
+            .and_then(|p| p.parse().ok())
+            .unwrap_or(8080);
+        serve_forever(port);
+    }
+
+    let (config, mut run) = instrumented_run("gateway_load");
+    let study = Study::prepare(config).expect("prepare");
+    let params = Arc::new(Params::init(
+        study.model_config(Tier::S7b),
+        &mut Rng::seed_from(study.config.seed),
+    ));
+    let model = EvalModel {
+        params: &params,
+        tokenizer: &study.tokenizer,
+    };
+    let questions: Vec<Mcq> = study.eval_questions().into_iter().cloned().collect();
+    let n = questions.len();
+    info!("gateway_load: {n} questions, {CLIENTS} concurrent clients, S7b untrained");
+
+    // In-process serial reference: the bitwise ground truth.
+    let token_config = TokenEvalConfig::default();
+    let refs: Vec<Vec<u32>> = questions
+        .iter()
+        .map(|q| {
+            let (_pred, scores) =
+                token_method_predict(&model, q, &study.mcq.exemplars, &token_config);
+            scores.iter().map(|s| s.to_bits()).collect()
+        })
+        .collect();
+
+    // Phase 1: serial gateway, one sequential client. No cache, no
+    // batching — each request pays the full encode.
+    let serial_config = GatewayConfig {
+        engine: EngineConfig::serial(),
+        max_batch: 1,
+        batch_window: Duration::from_millis(0),
+        rate_per_sec: 10_000.0,
+        burst: 10_000.0,
+        ..GatewayConfig::default()
+    };
+    let gw = Gateway::spawn(serial_config, state_for(&study, &params)).expect("serial gateway");
+    let t = Instant::now();
+    let serial_parity = drive_serial(gw.addr(), &questions, &refs, "serial-client");
+    let serial_wall = t.elapsed().as_secs_f64();
+    let serial_stats = gw.shutdown();
+    let serial_rps = n as f64 / serial_wall;
+    info!("serial-over-socket: {serial_wall:.2}s ({serial_rps:.2} req/sec)");
+
+    // Phase 2: batched gateway, 8 concurrent clients each sending the
+    // full question set. The micro-batch window coalesces their requests
+    // so the prefix cache deduplicates the shared few-shot preamble.
+    metrics::reset();
+    let batched_config = GatewayConfig {
+        engine: EngineConfig::pooled(),
+        max_batch: 16,
+        batch_window: Duration::from_millis(10),
+        rate_per_sec: 10_000.0,
+        burst: 10_000.0,
+        ..GatewayConfig::default()
+    };
+    let gw = Gateway::spawn(batched_config, state_for(&study, &params)).expect("batched gateway");
+    let addr = gw.addr();
+    let t = Instant::now();
+    let batched_parity: Option<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let questions = &questions;
+                let refs = &refs;
+                scope.spawn(move || {
+                    drive_serial(addr, questions, refs, &format!("load-client-{c}"))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .filter_map(|h| h.join().unwrap_or_else(|_| Some("client panicked".into())))
+            .next()
+    });
+    let batched_wall = t.elapsed().as_secs_f64();
+    let batched_stats = gw.shutdown();
+    let total = (CLIENTS * n) as f64;
+    let batched_rps = total / batched_wall;
+    let speedup = batched_rps / serial_rps;
+    let occupancy = hist_summary("gateway.batch_occupancy");
+    let latency = hist_summary("gateway.request_us");
+    let occupancy_mean = occupancy.as_ref().map(|h| h.mean).unwrap_or(0.0);
+    info!(
+        "batched-over-socket: {batched_wall:.2}s ({batched_rps:.2} req/sec, \
+         {speedup:.2}x serial, mean batch occupancy {occupancy_mean:.2})"
+    );
+
+    // Phase 3: admission control on a deliberately strict gateway.
+    let strict_config = GatewayConfig {
+        engine: EngineConfig::pooled(),
+        max_batch: 1,
+        batch_window: Duration::from_millis(0),
+        queue_capacity: 1,
+        rate_per_sec: 0.5,
+        burst: 2.0,
+        max_body_bytes: 1024,
+        ..GatewayConfig::default()
+    };
+    let gw = Gateway::spawn(strict_config, state_for(&study, &params)).expect("strict gateway");
+    let addr = gw.addr();
+
+    // Deterministic 429: burst of 2 for one client, third refused.
+    let mut rate_limited_429 = 0u64;
+    let body = score_request_body(&questions[0], "greedy");
+    for _ in 0..2 {
+        match client::post_json(addr, "/v1/score", &body, TIMEOUT) {
+            Ok(r) if r.status == 200 => {}
+            Ok(r) => info!("gateway_load: burst request got {}", r.status),
+            Err(e) => info!("gateway_load: burst request failed: {e}"),
+        }
+    }
+    if let Ok(r) = client::post_json(addr, "/v1/score", &body, TIMEOUT) {
+        if r.status == 429 && r.header("Retry-After").is_some() {
+            rate_limited_429 = 1;
+        } else {
+            info!("gateway_load: expected 429, got {}: {}", r.status, r.body);
+        }
+    }
+
+    // Deterministic 413: body over the 1 KiB bound.
+    let mut oversized_413 = 0u64;
+    let huge = format!(
+        "{{\"question\":\"{}\",\"options\":[\"a\",\"b\",\"c\",\"d\"]}}",
+        "x".repeat(4096)
+    );
+    if let Ok(r) = client::post_json(addr, "/v1/score", &huge, TIMEOUT) {
+        if r.status == 413 {
+            oversized_413 = 1;
+        } else {
+            info!("gateway_load: expected 413, got {}: {}", r.status, r.body);
+        }
+    }
+
+    // Overload burst against queue capacity 1: with 8 clients firing at
+    // once on one scheduler, at least one push must see a full queue.
+    let burst_503 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let questions = &questions;
+                scope.spawn(move || {
+                    let mut seen = 0u64;
+                    for (i, q) in questions.iter().enumerate().take(4) {
+                        let body =
+                            score_request_body(q, &format!("burst-{c}-{i}"));
+                        if let Ok(r) = client::post_json(addr, "/v1/score", &body, TIMEOUT) {
+                            if r.status == 503 {
+                                seen += 1;
+                            }
+                        }
+                    }
+                    seen
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap_or(0)).sum::<u64>()
+    });
+    let strict_stats = gw.shutdown();
+    info!(
+        "admission: 429={rate_limited_429} 413={oversized_413} burst 503s={burst_503} \
+         (strict drain clean={})",
+        strict_stats.drained_clean
+    );
+
+    // Phase 4: drain mid-burst — every accepted request answered.
+    let gw = Gateway::spawn(GatewayConfig::default(), state_for(&study, &params))
+        .expect("drain gateway");
+    let addr = gw.addr();
+    let drain_stats = std::thread::scope(|scope| {
+        for c in 0..4 {
+            let questions = &questions;
+            scope.spawn(move || {
+                for (i, q) in questions.iter().enumerate().take(3) {
+                    let body = score_request_body(q, &format!("drain-{c}-{i}"));
+                    let _ = client::post_json(addr, "/v1/score", &body, TIMEOUT);
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_millis(15));
+        gw.shutdown()
+    });
+    info!(
+        "drain mid-burst: accepted={} completed={} clean={}",
+        drain_stats.accepted, drain_stats.completed, drain_stats.drained_clean
+    );
+
+    let parity = serial_parity.or(batched_parity);
+    let drain_clean = serial_stats.drained_clean
+        && batched_stats.drained_clean
+        && strict_stats.drained_clean
+        && drain_stats.drained_clean;
+
+    let mut obj = JsonObject::new();
+    obj.str("bench", "gateway_load")
+        .str(
+            "preset",
+            &std::env::args().nth(1).unwrap_or_else(|| "fast".into()),
+        )
+        .num("seed", study.config.seed as f64)
+        .num("n_questions", n as f64)
+        .num("clients", CLIENTS as f64)
+        .num("serial_wall_secs", serial_wall)
+        .num("serial_requests_per_sec", serial_rps)
+        .num("batched_wall_secs", batched_wall)
+        .num("batched_requests_per_sec", batched_rps)
+        .num("batched_total_requests", total)
+        .num("speedup", speedup)
+        .num("batch_occupancy_mean", occupancy_mean)
+        .num(
+            "latency_p50_us",
+            latency.as_ref().map(|h| h.p50).unwrap_or(f64::NAN),
+        )
+        .num(
+            "latency_p95_us",
+            latency.as_ref().map(|h| h.p95).unwrap_or(f64::NAN),
+        )
+        .num(
+            "latency_p99_us",
+            latency.as_ref().map(|h| h.p99).unwrap_or(f64::NAN),
+        )
+        .num("rate_limited_429", rate_limited_429 as f64)
+        .num("oversized_413", oversized_413 as f64)
+        .num("backpressure_503", burst_503 as f64)
+        .num("drain_accepted", drain_stats.accepted as f64)
+        .num("drain_completed", drain_stats.completed as f64)
+        .raw("drain_clean", if drain_clean { "true" } else { "false" })
+        .str("parity", if parity.is_none() { "bitwise" } else { "FAILED" });
+    let json = obj.finish();
+    if let Err(e) = Json::parse(&json) {
+        info!("gateway_load: emitted invalid JSON ({e:?})");
+        std::process::exit(1);
+    }
+    match std::fs::write("BENCH_gateway.json", &json) {
+        Ok(()) => run.add("bench_json", "BENCH_gateway.json"),
+        Err(e) => info!("BENCH_gateway.json not written: {e}"),
+    }
+    run.add("speedup", &format!("{speedup:.2}"));
+    run.finish();
+
+    // Contract checks last, so the JSON and manifest always land for
+    // diagnosis even when a check fails the run.
+    let mut failures = Vec::new();
+    if let Some(msg) = parity {
+        failures.push(format!("parity violated: {msg}"));
+    }
+    if speedup < 2.0 {
+        failures.push(format!(
+            "batched-over-socket must be >= 2x serial, got {speedup:.2}x"
+        ));
+    }
+    if rate_limited_429 == 0 {
+        failures.push("rate-limit probe never saw a 429".to_string());
+    }
+    if oversized_413 == 0 {
+        failures.push("payload probe never saw a 413".to_string());
+    }
+    if burst_503 == 0 {
+        failures.push("overload burst never saw a 503".to_string());
+    }
+    if !drain_clean {
+        failures.push(format!(
+            "drain lost requests: serial={serial_stats:?} batched={batched_stats:?} \
+             strict={strict_stats:?} midburst={drain_stats:?}"
+        ));
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            info!("gateway_load: FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    info!("gateway_load: OK ({speedup:.2}x over socket, parity bitwise, drain clean)");
+}

@@ -201,6 +201,9 @@ impl StudyConfig {
         if self.n_eval_questions == 0 {
             return Err("n_eval_questions must be nonzero".to_string());
         }
+        self.eval_engine
+            .validate()
+            .map_err(|e| format!("eval_engine: {e}"))?;
         Ok(())
     }
 
@@ -242,6 +245,14 @@ mod tests {
         ] {
             assert_eq!(cfg.validate(), Ok(()));
         }
+    }
+
+    #[test]
+    fn validate_rejects_bad_eval_engine() {
+        let mut cfg = StudyConfig::micro(3);
+        cfg.eval_engine.parallelism = astro_serve::MAX_PARALLELISM + 1;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("eval_engine"), "{err}");
     }
 
     #[test]

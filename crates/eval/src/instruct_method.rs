@@ -45,6 +45,28 @@ impl Default for InstructEvalConfig {
     }
 }
 
+impl InstructEvalConfig {
+    /// Structural validation: require a usable generation budget and
+    /// delegate to [`EngineConfig::validate`]. Checked at gateway startup
+    /// and usable by any embedding before work is scheduled.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_new_tokens == 0 {
+            return Err("full-instruct max_new_tokens must be at least 1".to_string());
+        }
+        if self.max_new_tokens > MAX_NEW_TOKENS {
+            return Err(format!(
+                "full-instruct max_new_tokens {} exceeds the {MAX_NEW_TOKENS}-token bound",
+                self.max_new_tokens
+            ));
+        }
+        self.engine.validate().map_err(|e| format!("engine: {e}"))
+    }
+}
+
+/// Upper bound on the full-instruct generation budget (the paper's
+/// deployments cap at 512; our context windows are far smaller).
+pub const MAX_NEW_TOKENS: usize = 4096;
+
 /// One question's full-instruct outcome.
 #[derive(Clone, Debug)]
 pub struct InstructAnswer {
@@ -81,6 +103,28 @@ fn prompt_and_budget(
         prompt.drain(0..prompt.len() - (cap - budget));
     }
     (prompt, budget)
+}
+
+/// The engine job for one question, mirroring [`instruct_method_answer`]
+/// exactly (prompt, budget, sampler and stop set). `rng` must be the same
+/// substream the serial path would use for this question so sampling is
+/// bitwise identical. Public so out-of-process front-ends (the network
+/// gateway) can build jobs that match the in-process path.
+pub fn generate_job(
+    model: &EvalModel<'_>,
+    question: &Mcq,
+    config: &InstructEvalConfig,
+    rng: Rng,
+) -> GenerateJob {
+    let (prompt, budget) = prompt_and_budget(model, question, config);
+    GenerateJob {
+        prompt,
+        group: Some(question.article as u64),
+        max_new: budget,
+        sampler: config.sampler,
+        rng,
+        stop: vec![model.tokenizer.special("<|end|>"), model.tokenizer.eos()],
+    }
 }
 
 /// Generate an answer for one question.
@@ -138,23 +182,11 @@ pub fn instruct_method(
             })
             .collect();
     }
-    let end = model.tokenizer.special("<|end|>");
-    let eos = model.tokenizer.eos();
     let engine = EvalEngine::new(config.engine, model.params);
     let jobs: Vec<GenerateJob> = questions
         .iter()
         .enumerate()
-        .map(|(i, q)| {
-            let (prompt, budget) = prompt_and_budget(model, q, config);
-            GenerateJob {
-                prompt,
-                group: Some(q.article as u64),
-                max_new: budget,
-                sampler: config.sampler,
-                rng: rng.substream_idx("instruct-q", i as u64),
-                stop: vec![end, eos],
-            }
-        })
+        .map(|(i, q)| generate_job(model, q, config, rng.substream_idx("instruct-q", i as u64)))
         .collect();
     engine
         .generate_batch(jobs)

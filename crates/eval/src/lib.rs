@@ -26,10 +26,15 @@ pub mod token_method;
 pub mod value;
 
 pub use extract::{extract_answer, ExtractionStage};
-pub use instruct_method::{instruct_method, InstructAnswer, InstructEvalConfig};
+pub use instruct_method::{
+    generate_job, instruct_method, instruct_method_answer, InstructAnswer, InstructEvalConfig,
+};
 pub use oracle::FlagshipOracle;
 pub use score::{bootstrap_ci, evaluate, evaluate_checked, EvalFailure, EvalOutcome, Method, Score, TierBreakdown};
-pub use token_method::{token_method, token_method_outcomes, AnswerReadout, TokenEvalConfig, TokenOutcome};
+pub use token_method::{
+    score_job, token_method, token_method_outcomes, token_method_predict, AnswerReadout,
+    TokenEvalConfig, TokenOutcome,
+};
 
 /// A model under evaluation: parameters plus the tokenizer it was trained
 /// with.

@@ -57,6 +57,25 @@ impl Default for TokenEvalConfig {
     }
 }
 
+impl TokenEvalConfig {
+    /// Structural validation: bound the shot count (prompts must leave
+    /// room for the question under every model's context window) and
+    /// delegate to [`EngineConfig::validate`]. Checked at gateway startup
+    /// and usable by any embedding before work is scheduled.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.shots > MAX_SHOTS {
+            return Err(format!(
+                "token-method shots {} exceeds the {MAX_SHOTS}-shot bound",
+                self.shots
+            ));
+        }
+        self.engine.validate().map_err(|e| format!("engine: {e}"))
+    }
+}
+
+/// Upper bound on few-shot exemplars in the token-method prompt.
+pub const MAX_SHOTS: usize = 16;
+
 /// Candidate token ids for a piece of answer text: its leading token with
 /// and (when `detect` is on) without a leading space. Falls back to the
 /// first token of the encoded piece when no single-token representation
@@ -199,8 +218,10 @@ pub struct TokenOutcome {
 
 /// The engine job for one question, mirroring [`token_method_predict`]'s
 /// readout structure exactly (variant order included, so max-folding is
-/// bitwise identical).
-fn score_job(
+/// bitwise identical). Public so out-of-process front-ends (the network
+/// gateway) can build jobs that are bitwise identical to the in-process
+/// path.
+pub fn score_job(
     model: &EvalModel<'_>,
     question: &Mcq,
     exemplars: &[Mcq],

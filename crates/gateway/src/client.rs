@@ -1,0 +1,119 @@
+//! A minimal blocking HTTP client for the gateway's own tests and load
+//! bench. Speaks exactly the dialect the server emits: one request per
+//! connection, `Connection: close`, `Content-Length` bodies.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed response.
+#[derive(Clone, Debug)]
+pub struct HttpResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Header name/value pairs, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Body decoded as UTF-8.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn round_trip(
+    addr: SocketAddr,
+    request: &str,
+    timeout: Duration,
+) -> Result<HttpResponse, String> {
+    let stream = TcpStream::connect_timeout(&addr, timeout)
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut stream = stream;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("write: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("read: {e}"))?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> Result<HttpResponse, String> {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| "no header terminator in response".to_string())?;
+    let head = std::str::from_utf8(&raw[..head_end]).map_err(|e| format!("head utf8: {e}"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| "empty response".to_string())?;
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|c| c.parse::<u16>().ok())
+        .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+    let headers = lines
+        .filter(|l| !l.is_empty())
+        .filter_map(|l| {
+            l.split_once(':')
+                .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+        })
+        .collect();
+    let body = String::from_utf8(raw[head_end + 4..].to_vec())
+        .map_err(|e| format!("body utf8: {e}"))?;
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// POST a JSON body and return the parsed response.
+pub fn post_json(
+    addr: SocketAddr,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+) -> Result<HttpResponse, String> {
+    let request = format!(
+        "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    round_trip(addr, &request, timeout)
+}
+
+/// GET a path and return the parsed response.
+pub fn get(addr: SocketAddr, path: &str, timeout: Duration) -> Result<HttpResponse, String> {
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    round_trip(addr, &request, timeout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_response_with_headers_and_body() {
+        let raw =
+            b"HTTP/1.1 429 Too Many Requests\r\nRetry-After: 2\r\nContent-Length: 2\r\n\r\nhi";
+        let resp = parse_response(raw).unwrap();
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.header("retry-after"), Some("2"));
+        assert_eq!(resp.body, "hi");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response(b"not http").is_err());
+        assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n").is_err());
+    }
+}

@@ -1,0 +1,301 @@
+//! Minimal HTTP/1.1 request parsing and response writing over raw
+//! streams. Deliberately small: one request per connection
+//! (`Connection: close`), `Content-Length` bodies only (no chunked
+//! encoding), ASCII header names. Exactly what the gateway's JSON API
+//! needs and nothing that would require a dependency.
+
+use std::io::{Read, Write};
+
+/// Cap on the request head (request line + headers) so a hostile client
+/// cannot grow memory by never sending `\r\n\r\n`.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …), as sent.
+    pub method: String,
+    /// Request target, e.g. `/v1/score`.
+    pub path: String,
+    /// Header name/value pairs in arrival order; names not normalised.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (`Content-Length` long; empty when absent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read. Each variant maps onto one HTTP
+/// status (or a silent close) in the connection handler.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HttpError {
+    /// Malformed request line, header, or head too large → 400.
+    BadRequest(String),
+    /// Declared body exceeds the configured bound → 413.
+    PayloadTooLarge {
+        /// Bytes the client declared.
+        declared: usize,
+        /// The configured maximum.
+        limit: usize,
+    },
+    /// The socket read timed out mid-request → 408.
+    Timeout,
+    /// The peer closed before a full request arrived → close silently.
+    ConnectionClosed,
+    /// Any other I/O failure → close silently.
+    Io(String),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::BadRequest(m) => write!(f, "bad request: {m}"),
+            HttpError::PayloadTooLarge { declared, limit } => {
+                write!(f, "payload too large: {declared} > {limit}")
+            }
+            HttpError::Timeout => write!(f, "read timed out"),
+            HttpError::ConnectionClosed => write!(f, "connection closed"),
+            HttpError::Io(m) => write!(f, "io: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+fn classify_io(e: std::io::Error) -> HttpError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => HttpError::Timeout,
+        std::io::ErrorKind::UnexpectedEof
+        | std::io::ErrorKind::ConnectionReset
+        | std::io::ErrorKind::ConnectionAborted
+        | std::io::ErrorKind::BrokenPipe => HttpError::ConnectionClosed,
+        _ => HttpError::Io(e.to_string()),
+    }
+}
+
+/// Read and parse one request from `stream`. `max_body` bounds the
+/// accepted `Content-Length`; the head is bounded by [`MAX_HEAD_BYTES`].
+/// The caller is expected to have set a read timeout on the stream.
+pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, HttpError> {
+    // Accumulate until the blank line ending the head.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::BadRequest(format!(
+                "request head exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        let n = stream.read(&mut chunk).map_err(classify_io)?;
+        if n == 0 {
+            return Err(HttpError::ConnectionClosed);
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::BadRequest("head is not UTF-8".to_string()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("empty head".to_string()))?;
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => {
+            return Err(HttpError::BadRequest(format!(
+                "malformed request line {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported version {version:?}"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadRequest(format!("malformed header {line:?}")));
+        };
+        headers.push((name.trim().to_string(), value.trim().to_string()));
+    }
+
+    let req = Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+    let declared = match req.header("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::BadRequest(format!("bad Content-Length {v:?}")))?,
+    };
+    if declared > max_body {
+        return Err(HttpError::PayloadTooLarge {
+            declared,
+            limit: max_body,
+        });
+    }
+
+    // Body bytes already buffered past the head, then read the rest.
+    let mut body: Vec<u8> = buf[head_end + 4..].to_vec();
+    while body.len() < declared {
+        let n = stream.read(&mut chunk).map_err(classify_io)?;
+        if n == 0 {
+            return Err(HttpError::ConnectionClosed);
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(declared);
+    Ok(Request { body, ..req })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Canonical reason phrase for the status codes the gateway emits.
+pub fn status_reason(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Write one complete JSON response (`Connection: close`) and flush.
+/// `extra_headers` are appended verbatim (e.g. `("Retry-After", "2")`).
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<()> {
+    let mut out = String::with_capacity(128 + body.len());
+    out.push_str(&format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        status_reason(status),
+        body.len()
+    ));
+    for (k, v) in extra_headers {
+        out.push_str(&format!("{k}: {v}\r\n"));
+    }
+    out.push_str("\r\n");
+    out.push_str(body);
+    stream.write_all(out.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &[u8]) -> Result<Request, HttpError> {
+        let mut cursor = std::io::Cursor::new(raw.to_vec());
+        read_request(&mut cursor, 1024)
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = b"POST /v1/score HTTP/1.1\r\nHost: x\r\ncontent-length: 4\r\n\r\nabcd";
+        let req = parse(raw).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/score");
+        assert_eq!(req.header("Content-Length"), Some("4"));
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn header_lookup_is_case_insensitive() {
+        let req = parse(b"GET / HTTP/1.1\r\nX-Client: abc\r\n\r\n").unwrap();
+        assert_eq!(req.header("x-client"), Some("abc"));
+        assert_eq!(req.header("X-CLIENT"), Some("abc"));
+        assert_eq!(req.header("missing"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_request_line() {
+        for raw in [
+            b"GARBAGE\r\n\r\n".to_vec(),
+            b"GET noslash HTTP/1.1\r\n\r\n".to_vec(),
+            b"GET / SPDY/3\r\n\r\n".to_vec(),
+        ] {
+            assert!(
+                matches!(parse(&raw), Err(HttpError::BadRequest(_))),
+                "{raw:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_body_before_reading_it() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n";
+        match parse(raw) {
+            Err(HttpError::PayloadTooLarge { declared, limit }) => {
+                assert_eq!(declared, 9999);
+                assert_eq!(limit, 1024);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_content_length() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n";
+        assert!(matches!(parse(raw), Err(HttpError::BadRequest(_))));
+    }
+
+    #[test]
+    fn truncated_request_is_connection_closed() {
+        assert_eq!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(HttpError::ConnectionClosed)
+        );
+        assert_eq!(parse(b""), Err(HttpError::ConnectionClosed));
+    }
+
+    #[test]
+    fn response_has_content_length_and_close() {
+        let mut out = Vec::new();
+        write_response(&mut out, 429, &[("Retry-After", "2")], "{\"e\":1}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 7\r\n"));
+        assert!(text.contains("Retry-After: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("{\"e\":1}"));
+    }
+}

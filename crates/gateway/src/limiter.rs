@@ -1,0 +1,147 @@
+//! Per-client token-bucket rate limiting.
+//!
+//! Each client (the `client` field of a request, defaulting to the peer
+//! address) gets a bucket holding up to `burst` tokens, refilled at
+//! `rate_per_sec`. A request costs one token; an empty bucket yields a
+//! 429 with a `Retry-After` hint computed from the deficit. The bucket
+//! map's mutex is ranked `gateway.limiter` — below `gateway.queue`, so
+//! admission completes before any queue interaction.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Evict buckets idle long enough to have fully refilled once the map
+/// grows past this many clients; keeps memory bounded under client churn.
+const EVICT_THRESHOLD: usize = 4096;
+
+struct Bucket {
+    tokens: f64,
+    last: Instant,
+}
+
+/// Admission decision for one request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// A token was available; the request may proceed.
+    Granted,
+    /// Bucket empty; retry after this many whole seconds (≥ 1).
+    RetryAfter(u64),
+}
+
+/// Token-bucket limiter keyed by client identity.
+pub struct RateLimiter {
+    rate: f64,
+    burst: f64,
+    buckets: std::sync::Mutex<HashMap<String, Bucket>>,
+}
+
+impl RateLimiter {
+    /// Create a limiter granting `burst` initial tokens per client,
+    /// refilled at `rate` tokens per second. Bounds are enforced by
+    /// `GatewayConfig::validate` (rate positive finite, burst ≥ 1).
+    pub fn new(rate: f64, burst: f64) -> Self {
+        RateLimiter {
+            rate,
+            burst,
+            buckets: std::sync::Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Try to take one token for `client` at time `now`.
+    pub fn admit_at(&self, client: &str, now: Instant) -> Admission {
+        let (_order, mut buckets) =
+            astro_telemetry::lockcheck::lock_ranked("gateway.limiter", &self.buckets);
+        if buckets.len() > EVICT_THRESHOLD {
+            let (rate, burst) = (self.rate, self.burst);
+            buckets.retain(|_, b| {
+                let elapsed = now.saturating_duration_since(b.last).as_secs_f64();
+                elapsed * rate < burst
+            });
+        }
+        let bucket = buckets.entry(client.to_string()).or_insert(Bucket {
+            tokens: self.burst,
+            last: now,
+        });
+        let elapsed = now.saturating_duration_since(bucket.last).as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * self.rate).min(self.burst);
+        bucket.last = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            Admission::Granted
+        } else {
+            let deficit = 1.0 - bucket.tokens;
+            let secs = (deficit / self.rate).ceil().max(1.0);
+            Admission::RetryAfter(secs as u64)
+        }
+    }
+
+    /// Try to take one token for `client` now.
+    pub fn admit(&self, client: &str) -> Admission {
+        self.admit_at(client, Instant::now())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn burst_then_reject() {
+        let lim = RateLimiter::new(1.0, 3.0);
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            assert_eq!(lim.admit_at("a", t0), Admission::Granted);
+        }
+        match lim.admit_at("a", t0) {
+            Admission::RetryAfter(s) => assert!(s >= 1, "retry-after {s}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn refills_over_time() {
+        let lim = RateLimiter::new(2.0, 2.0);
+        let t0 = Instant::now();
+        assert_eq!(lim.admit_at("a", t0), Admission::Granted);
+        assert_eq!(lim.admit_at("a", t0), Admission::Granted);
+        assert!(matches!(lim.admit_at("a", t0), Admission::RetryAfter(_)));
+        // 1 second at 2 tokens/s refills both slots.
+        let t1 = t0 + Duration::from_secs(1);
+        assert_eq!(lim.admit_at("a", t1), Admission::Granted);
+        assert_eq!(lim.admit_at("a", t1), Admission::Granted);
+    }
+
+    #[test]
+    fn clients_are_independent() {
+        let lim = RateLimiter::new(1.0, 1.0);
+        let t0 = Instant::now();
+        assert_eq!(lim.admit_at("a", t0), Admission::Granted);
+        assert!(matches!(lim.admit_at("a", t0), Admission::RetryAfter(_)));
+        assert_eq!(lim.admit_at("b", t0), Admission::Granted);
+    }
+
+    #[test]
+    fn retry_after_reflects_deficit_at_slow_rates() {
+        // 0.2 tokens/s, empty bucket: a full token is 5 seconds away.
+        let lim = RateLimiter::new(0.2, 1.0);
+        let t0 = Instant::now();
+        assert_eq!(lim.admit_at("a", t0), Admission::Granted);
+        match lim.admit_at("a", t0) {
+            Admission::RetryAfter(s) => assert_eq!(s, 5),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn tokens_never_exceed_burst() {
+        let lim = RateLimiter::new(100.0, 2.0);
+        let t0 = Instant::now();
+        assert_eq!(lim.admit_at("a", t0), Admission::Granted);
+        // A long idle period must not bank more than `burst` tokens.
+        let t1 = t0 + Duration::from_secs(60);
+        assert_eq!(lim.admit_at("a", t1), Admission::Granted);
+        assert_eq!(lim.admit_at("a", t1), Admission::Granted);
+        assert!(matches!(lim.admit_at("a", t1), Admission::RetryAfter(_)));
+    }
+}

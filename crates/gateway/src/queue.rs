@@ -1,0 +1,199 @@
+//! Bounded MPMC queue between connection handlers and the scheduler.
+//!
+//! `try_push` never blocks: a full queue is an admission decision (503),
+//! not a wait. `pop` blocks (optionally with a timeout) — that is the
+//! scheduler's batching clock. The inner mutex is ranked
+//! `gateway.queue` in the telemetry lock hierarchy; see
+//! `astro_telemetry::lockcheck`.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A capacity-bounded multi-producer queue with blocking consumption.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+/// Why a `try_push` was refused. The rejected item is handed back so the
+/// caller can answer the client with its reply channel intact.
+pub enum PushError<T> {
+    /// Queue is at capacity — backpressure, report 503.
+    Full(T),
+    /// Queue has been closed by shutdown — report 503 (draining).
+    Closed(T),
+}
+
+/// Result of a blocking `pop`.
+pub enum Pop<T> {
+    /// An item was dequeued.
+    Item(T),
+    /// The timeout elapsed with no item available.
+    TimedOut,
+    /// The queue is closed *and* empty — the consumer should exit.
+    Closed,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Create a queue refusing pushes beyond `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity.min(1024)),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueue without blocking. On success returns the queue depth
+    /// *after* the push (for the queue-depth gauge).
+    pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
+        let (_order, mut inner) =
+            astro_telemetry::lockcheck::lock_ranked("gateway.queue", &self.inner);
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        drop(inner);
+        self.cv.notify_one();
+        Ok(depth)
+    }
+
+    /// Dequeue one item. With `timeout: None` blocks until an item
+    /// arrives or the queue closes; with a timeout, returns
+    /// [`Pop::TimedOut`] once it elapses. A closed queue keeps yielding
+    /// buffered items until empty, so a graceful drain loses nothing.
+    pub fn pop(&self, timeout: Option<Duration>) -> Pop<T> {
+        let (_order, mut inner) =
+            astro_telemetry::lockcheck::lock_ranked("gateway.queue", &self.inner);
+        let deadline = timeout.map(|d| std::time::Instant::now() + d);
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Pop::Item(item);
+            }
+            if inner.closed {
+                return Pop::Closed;
+            }
+            match deadline {
+                None => {
+                    inner = self
+                        .cv
+                        .wait(inner)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                Some(dl) => {
+                    let now = std::time::Instant::now();
+                    if now >= dl {
+                        return Pop::TimedOut;
+                    }
+                    let (guard, _res) = self
+                        .cv
+                        .wait_timeout(inner, dl - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    inner = guard;
+                }
+            }
+        }
+    }
+
+    /// Current queue depth (for `/metricsz` and the depth gauge).
+    pub fn depth(&self) -> usize {
+        let (_order, inner) =
+            astro_telemetry::lockcheck::lock_ranked("gateway.queue", &self.inner);
+        inner.items.len()
+    }
+
+    /// Close the queue: future pushes fail with [`PushError::Closed`],
+    /// and consumers see [`Pop::Closed`] once the buffer drains.
+    pub fn close(&self) {
+        let (_order, mut inner) =
+            astro_telemetry::lockcheck::lock_ranked("gateway.queue", &self.inner);
+        inner.closed = true;
+        drop(inner);
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_depth() {
+        let q = BoundedQueue::new(4);
+        assert!(matches!(q.try_push(1), Ok(1)));
+        assert!(matches!(q.try_push(2), Ok(2)));
+        assert_eq!(q.depth(), 2);
+        assert!(matches!(q.pop(None), Pop::Item(1)));
+        assert!(matches!(q.pop(None), Pop::Item(2)));
+    }
+
+    #[test]
+    fn full_queue_rejects_and_returns_item() {
+        let q = BoundedQueue::new(1);
+        assert!(q.try_push("a").is_ok());
+        match q.try_push("b") {
+            Err(PushError::Full(item)) => assert_eq!(item, "b"),
+            _ => panic!("expected Full"),
+        }
+    }
+
+    #[test]
+    fn closed_queue_rejects_pushes_but_drains_buffered_items() {
+        let q = BoundedQueue::new(4);
+        q.try_push(7).ok().unwrap();
+        q.close();
+        match q.try_push(8) {
+            Err(PushError::Closed(item)) => assert_eq!(item, 8),
+            _ => panic!("expected Closed"),
+        }
+        assert!(matches!(q.pop(None), Pop::Item(7)));
+        assert!(matches!(q.pop(None), Pop::Closed));
+    }
+
+    #[test]
+    fn pop_times_out_when_empty() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(4);
+        assert!(matches!(
+            q.pop(Some(Duration::from_millis(10))),
+            Pop::TimedOut
+        ));
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_push_from_another_thread() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || match q2.pop(None) {
+            Pop::Item(v) => v,
+            _ => panic!("expected item"),
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        q.try_push(42u32).ok().unwrap();
+        assert_eq!(t.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumer() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || matches!(q2.pop(None), Pop::Closed));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(t.join().unwrap());
+    }
+}

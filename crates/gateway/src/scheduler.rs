@@ -1,0 +1,193 @@
+//! Continuous micro-batching scheduler.
+//!
+//! A single thread drains the request queue: it blocks for the first
+//! pending request, keeps collecting until the batching window closes
+//! (or `max_batch` is reached), then dispatches everything as *one*
+//! engine batch. Because the engine's radix prefix cache deduplicates
+//! shared prompt prefixes within a batch, concurrent clients asking
+//! related questions get the same cache wins as an in-process batch —
+//! that is where the gateway's throughput over serial comes from on a
+//! single core.
+//!
+//! Determinism: the engine guarantees results are independent of batch
+//! composition, so whatever coalescing the wall clock produces, each
+//! response is bitwise identical to a serial run of that request alone.
+
+use crate::queue::{BoundedQueue, Pop};
+use astro_eval::{extract_answer, ExtractionStage};
+use astro_serve::{EvalEngine, GenerateJob, ScoreJob};
+use astro_telemetry::{metrics, span};
+use astro_tokenizer::Tokenizer;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The work item carried by one pending request.
+pub enum Work {
+    /// A `/v1/score` request (token method readout).
+    Score(ScoreJob),
+    /// A `/v1/generate` request; options ride along for extraction.
+    Generate {
+        /// The prepared generation job.
+        job: GenerateJob,
+        /// The four options, needed by the extraction cascade.
+        options: [String; 4],
+    },
+}
+
+/// One admitted request waiting for a batch slot.
+pub struct Pending {
+    /// What to run.
+    pub work: Work,
+    /// Where the connection handler waits for the result.
+    pub reply: mpsc::Sender<Reply>,
+    /// Absolute deadline; expired requests are answered without running.
+    pub deadline: Instant,
+    /// When the request entered the queue (queue-wait histogram).
+    pub enqueued: Instant,
+}
+
+/// Result sent back to the connection handler.
+pub enum Reply {
+    /// Token-method scores plus the argmax prediction.
+    Score {
+        /// Per-option readouts (bitwise-stable).
+        scores: [f32; 4],
+        /// Argmax over `scores` (ties resolve to the lowest index,
+        /// matching `token_method_outcomes`).
+        prediction: usize,
+    },
+    /// Full-instruct completion after the extraction cascade.
+    Generate {
+        /// Extracted option index, if any stage recovered one.
+        prediction: Option<usize>,
+        /// Which extraction stage produced the answer.
+        stage: ExtractionStage,
+        /// The raw decoded completion.
+        raw: String,
+    },
+    /// The deadline passed while queued → 504.
+    Expired,
+    /// The engine failed this job → 500 with the message.
+    Error(String),
+}
+
+/// Scheduler loop: runs until the queue is closed *and* drained, so a
+/// graceful shutdown flushes every accepted request. Spawned once by
+/// `Gateway::spawn`; never panics — engine errors become per-request
+/// [`Reply::Error`]s.
+pub fn run_scheduler(
+    queue: Arc<BoundedQueue<Pending>>,
+    engine: Arc<EvalEngine>,
+    tokenizer: Arc<Tokenizer>,
+    window: Duration,
+    max_batch: usize,
+) {
+    loop {
+        let first = match queue.pop(None) {
+            Pop::Item(p) => p,
+            Pop::Closed => return,
+            Pop::TimedOut => continue,
+        };
+        let mut batch = vec![first];
+        let window_end = Instant::now() + window;
+        while batch.len() < max_batch {
+            let now = Instant::now();
+            if now >= window_end {
+                break;
+            }
+            match queue.pop(Some(window_end - now)) {
+                Pop::Item(p) => batch.push(p),
+                // Closed: dispatch what we have; the next outer pop
+                // observes Closed-and-empty and exits the loop.
+                Pop::TimedOut | Pop::Closed => break,
+            }
+        }
+        dispatch_batch(&engine, &tokenizer, batch);
+        metrics::gauge("gateway.queue_depth").set(queue.depth() as i64);
+    }
+}
+
+/// Run one coalesced batch through the engine and answer every request.
+fn dispatch_batch(engine: &EvalEngine, tokenizer: &Tokenizer, batch: Vec<Pending>) {
+    let span = span!("gateway.batch", size = batch.len());
+    let now = Instant::now();
+    metrics::counter("gateway.batches").add(1);
+    metrics::histogram("gateway.batch_occupancy").observe(batch.len() as f64);
+    for p in &batch {
+        let wait = now.saturating_duration_since(p.enqueued);
+        metrics::histogram("gateway.queue_wait_us").observe(wait.as_micros() as f64);
+    }
+
+    // Expired requests are answered immediately and never hit the engine.
+    let (live, expired): (Vec<Pending>, Vec<Pending>) =
+        batch.into_iter().partition(|p| now < p.deadline);
+    for p in expired {
+        metrics::counter("gateway.expired").add(1);
+        let _ = p.reply.send(Reply::Expired);
+    }
+
+    let mut score_items = Vec::new();
+    let mut generate_items = Vec::new();
+    for p in live {
+        match p.work {
+            Work::Score(job) => score_items.push((job, p.reply)),
+            Work::Generate { job, options } => generate_items.push((job, options, p.reply)),
+        }
+    }
+    span.record_f64("score_jobs", score_items.len() as f64);
+    span.record_f64("generate_jobs", generate_items.len() as f64);
+
+    if !score_items.is_empty() {
+        let (jobs, replies): (Vec<ScoreJob>, Vec<mpsc::Sender<Reply>>) =
+            score_items.into_iter().unzip();
+        for (result, reply) in engine.score_batch(jobs).into_iter().zip(replies) {
+            let msg = match result {
+                Ok(s) => {
+                    let mut scores = [f32::NEG_INFINITY; 4];
+                    for (dst, src) in scores.iter_mut().zip(s.iter()) {
+                        *dst = *src;
+                    }
+                    let mut best = 0;
+                    for i in 1..4 {
+                        if scores[i] > scores[best] {
+                            best = i;
+                        }
+                    }
+                    Reply::Score {
+                        scores,
+                        prediction: best,
+                    }
+                }
+                Err(e) => Reply::Error(e.to_string()),
+            };
+            // A handler that already timed out has dropped its receiver;
+            // that is its problem, not the scheduler's.
+            let _ = reply.send(msg);
+        }
+    }
+
+    if !generate_items.is_empty() {
+        let mut jobs = Vec::with_capacity(generate_items.len());
+        let mut rest = Vec::with_capacity(generate_items.len());
+        for (job, options, reply) in generate_items {
+            jobs.push(job);
+            rest.push((options, reply));
+        }
+        for (result, (options, reply)) in engine.generate_batch(jobs).into_iter().zip(rest) {
+            let msg = match result {
+                Ok(tokens) => {
+                    let raw = tokenizer.decode(&tokens);
+                    let (prediction, stage) = extract_answer(&raw, &options);
+                    Reply::Generate {
+                        prediction,
+                        stage,
+                        raw,
+                    }
+                }
+                Err(e) => Reply::Error(e.to_string()),
+            };
+            let _ = reply.send(msg);
+        }
+    }
+}

@@ -1,0 +1,492 @@
+//! The gateway server: acceptor, connection handlers, admission control,
+//! and graceful drain.
+//!
+//! Lifecycle: [`Gateway::spawn`] validates every config layer, binds the
+//! socket, and starts two long-lived threads — the acceptor (one handler
+//! thread per connection) and the micro-batching scheduler. Admission
+//! happens in the handler *before* anything reaches the queue: drain
+//! state (503), body bounds (413), JSON schema (400), per-client rate
+//! limit (429 + `Retry-After`), bounded-queue backpressure (503).
+//! [`Gateway::shutdown`] stops accepting, waits for in-flight
+//! connections, then closes the queue so the scheduler flushes every
+//! accepted request — zero loss on a clean drain.
+
+use crate::api;
+use crate::config::GatewayConfig;
+use crate::http::{self, HttpError, Request};
+use crate::limiter::{Admission, RateLimiter};
+use crate::queue::{BoundedQueue, PushError};
+use crate::scheduler::{run_scheduler, Pending, Reply, Work};
+use astro_eval::{generate_job, score_job, EvalModel, InstructEvalConfig, TokenEvalConfig};
+use astro_mcq::Mcq;
+use astro_model::Params;
+use astro_prng::Rng;
+use astro_resilience::fault;
+use astro_serve::EvalEngine;
+use astro_telemetry::{metrics, span};
+use astro_tokenizer::Tokenizer;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Everything the endpoints need to build jobs: the model, the shared
+/// tokenizer, few-shot exemplars, and the two method configs. The
+/// `engine` fields inside the method configs are ignored — the gateway's
+/// scheduler owns batching.
+#[derive(Clone)]
+pub struct GatewayState {
+    /// Model weights served by both endpoints.
+    pub params: Arc<Params>,
+    /// Tokenizer shared with the training run that produced `params`.
+    pub tokenizer: Arc<Tokenizer>,
+    /// Few-shot exemplars for the token method prompt.
+    pub exemplars: Arc<Vec<Mcq>>,
+    /// Token-method settings (`/v1/score`).
+    pub token_config: TokenEvalConfig,
+    /// Full-instruct settings (`/v1/generate`).
+    pub instruct_config: InstructEvalConfig,
+}
+
+/// Why the gateway could not start.
+#[derive(Clone, Debug)]
+pub enum GatewayError {
+    /// A config layer failed validation (gateway, engine, or method).
+    Config(String),
+    /// The listener could not bind the requested address.
+    Bind(String),
+}
+
+impl std::fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GatewayError::Config(m) => write!(f, "invalid config: {m}"),
+            GatewayError::Bind(m) => write!(f, "bind failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GatewayError {}
+
+/// What a graceful shutdown observed.
+#[derive(Clone, Copy, Debug)]
+pub struct DrainStats {
+    /// Requests admitted past every admission check.
+    pub accepted: u64,
+    /// Admitted requests that received a scheduler reply.
+    pub completed: u64,
+    /// True when every connection finished within `drain_timeout` and
+    /// every accepted request was answered.
+    pub drained_clean: bool,
+}
+
+struct Shared {
+    config: GatewayConfig,
+    state: GatewayState,
+    queue: Arc<BoundedQueue<Pending>>,
+    limiter: RateLimiter,
+    draining: AtomicBool,
+    open_conns: AtomicUsize,
+    accepted: AtomicU64,
+    completed: AtomicU64,
+}
+
+/// A running gateway. Dropping it without calling [`Gateway::shutdown`]
+/// aborts: the listener stops, the queue closes, buffered requests are
+/// still flushed, but in-flight connections are not waited for.
+pub struct Gateway {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    scheduler: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Gateway {
+    /// Validate every config layer, bind, and start serving.
+    pub fn spawn(config: GatewayConfig, state: GatewayState) -> Result<Gateway, GatewayError> {
+        config.validate().map_err(GatewayError::Config)?;
+        state
+            .token_config
+            .validate()
+            .map_err(|e| GatewayError::Config(format!("token_config: {e}")))?;
+        state
+            .instruct_config
+            .validate()
+            .map_err(|e| GatewayError::Config(format!("instruct_config: {e}")))?;
+
+        let listener =
+            TcpListener::bind(&config.bind).map_err(|e| GatewayError::Bind(e.to_string()))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| GatewayError::Bind(e.to_string()))?;
+
+        let engine = Arc::new(EvalEngine::new(config.engine, &state.params));
+        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        let shared = Arc::new(Shared {
+            limiter: RateLimiter::new(config.rate_per_sec, config.burst),
+            queue: Arc::clone(&queue),
+            state,
+            draining: AtomicBool::new(false),
+            open_conns: AtomicUsize::new(0),
+            accepted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            config,
+        });
+
+        let (window, max_batch) = (shared.config.batch_window, shared.config.max_batch);
+        let tokenizer = Arc::clone(&shared.state.tokenizer);
+        let scheduler = std::thread::spawn(move || {
+            run_scheduler(queue, engine, tokenizer, window, max_batch);
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let acceptor = std::thread::spawn(move || accept_loop(&listener, &accept_shared));
+
+        astro_telemetry::info!("gateway: listening on {addr}");
+        Ok(Gateway {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+            scheduler: Some(scheduler),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, wait up to `drain_timeout` for in-flight
+    /// connections, flush the queue, and stop the scheduler. Every
+    /// request accepted before the drain began is answered.
+    pub fn shutdown(mut self) -> DrainStats {
+        let _span = span!("gateway.drain");
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.wake_and_join_acceptor();
+
+        // Handlers still hold connections; the scheduler is still
+        // running, so their queued work completes. Wait for them.
+        let deadline = Instant::now() + self.shared.config.drain_timeout;
+        while self.shared.open_conns.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let conns_done = self.shared.open_conns.load(Ordering::SeqCst) == 0;
+
+        self.shared.queue.close();
+        if let Some(h) = self.scheduler.take() {
+            let _ = h.join();
+        }
+        let accepted = self.shared.accepted.load(Ordering::SeqCst);
+        let completed = self.shared.completed.load(Ordering::SeqCst);
+        let stats = DrainStats {
+            accepted,
+            completed,
+            drained_clean: conns_done && accepted == completed,
+        };
+        astro_telemetry::info!(
+            "gateway: drained accepted={} completed={} clean={}",
+            stats.accepted,
+            stats.completed,
+            stats.drained_clean
+        );
+        stats
+    }
+
+    /// Hard stop: close the queue immediately and do not wait for
+    /// in-flight connections. Buffered requests are still flushed by the
+    /// scheduler on its way out; rejected pushes after this point see
+    /// typed `Closed` errors, never a panic.
+    pub fn abort(mut self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+        self.wake_and_join_acceptor();
+        if let Some(h) = self.scheduler.take() {
+            let _ = h.join();
+        }
+    }
+
+    fn wake_and_join_acceptor(&mut self) {
+        // `accept` blocks; poke it with a throwaway connection so the
+        // loop re-checks the drain flag.
+        if let Ok(s) = TcpStream::connect(self.addr) {
+            drop(s);
+        }
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        if self.acceptor.is_none() && self.scheduler.is_none() {
+            return;
+        }
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+        if let Ok(s) = TcpStream::connect(self.addr) {
+            drop(s);
+        }
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.scheduler.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.draining.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        if fault::should_fault("gateway.accept_fail") {
+            // Injected accept failure: the connection is dropped before a
+            // handler exists. The client sees a reset and may retry; the
+            // server keeps serving.
+            metrics::counter("gateway.accept_fail").add(1);
+            drop(stream);
+            continue;
+        }
+        shared.open_conns.fetch_add(1, Ordering::SeqCst);
+        let conn_shared = Arc::clone(shared);
+        std::thread::spawn(move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                serve_connection(&conn_shared, stream);
+            }));
+            if result.is_err() {
+                metrics::counter("gateway.handler_panics").add(1);
+            }
+            conn_shared.open_conns.fetch_sub(1, Ordering::SeqCst);
+        });
+    }
+}
+
+struct HttpReply {
+    status: u16,
+    retry_after: Option<u64>,
+    body: String,
+}
+
+impl HttpReply {
+    fn ok(body: String) -> HttpReply {
+        HttpReply {
+            status: 200,
+            retry_after: None,
+            body,
+        }
+    }
+
+    fn error(status: u16, message: &str) -> HttpReply {
+        HttpReply {
+            status,
+            retry_after: None,
+            body: api::error_body(message),
+        }
+    }
+
+    fn retry(status: u16, after: u64, message: &str) -> HttpReply {
+        HttpReply {
+            status,
+            retry_after: Some(after),
+            body: api::error_body(message),
+        }
+    }
+}
+
+/// Handle one connection: parse, route, answer, close.
+fn serve_connection(shared: &Shared, mut stream: TcpStream) {
+    let span = span!("gateway.request");
+    let t0 = Instant::now();
+    metrics::counter("gateway.connections").add(1);
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    if fault::should_fault("gateway.slow_client") {
+        // Injected slow client: treat the connection as having stalled
+        // mid-request and answer exactly like a real read timeout.
+        metrics::counter("gateway.slow_client").add(1);
+        let reply = HttpReply::error(408, "request read timed out");
+        write_reply(&mut stream, &reply, true);
+        return;
+    }
+    let peer = match stream.peer_addr() {
+        Ok(a) => a.ip().to_string(),
+        Err(_) => "unknown".to_string(),
+    };
+    let (reply, request_fully_read) =
+        match http::read_request(&mut stream, shared.config.max_body_bytes) {
+            Ok(req) => (route(shared, &req, &peer), true),
+            Err(HttpError::BadRequest(m)) => (HttpReply::error(400, &m), false),
+            Err(HttpError::PayloadTooLarge { declared, limit }) => {
+                metrics::counter("gateway.oversized").add(1);
+                (
+                    HttpReply::error(413, &format!("body of {declared} bytes exceeds {limit}")),
+                    false,
+                )
+            }
+            Err(HttpError::Timeout) => {
+                (HttpReply::error(408, "request read timed out"), false)
+            }
+            // Peer vanished before sending a request; nothing to answer.
+            Err(HttpError::ConnectionClosed) | Err(HttpError::Io(_)) => return,
+        };
+    span.record_f64("status", f64::from(reply.status));
+    metrics::histogram("gateway.request_us").observe(t0.elapsed().as_micros() as f64);
+    write_reply(&mut stream, &reply, !request_fully_read);
+}
+
+/// Write a response. When the request was *not* fully consumed (early
+/// rejection), half-close and drain the leftover bytes first — closing a
+/// socket with unread data makes the kernel send RST, which would
+/// destroy the very response we just queued.
+fn write_reply(stream: &mut TcpStream, reply: &HttpReply, drain_unread: bool) {
+    let retry_value;
+    let mut headers: Vec<(&str, &str)> = Vec::new();
+    if let Some(after) = reply.retry_after {
+        retry_value = after.to_string();
+        headers.push(("Retry-After", &retry_value));
+    }
+    if http::write_response(stream, reply.status, &headers, &reply.body).is_err() {
+        return;
+    }
+    if !drain_unread {
+        return;
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut scratch = [0u8; 1024];
+    // Bounded by the read timeout set on the stream and this byte budget.
+    let mut budget = 256 * 1024usize;
+    while budget > 0 {
+        match std::io::Read::read(stream, &mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => budget = budget.saturating_sub(n),
+        }
+    }
+}
+
+fn route(shared: &Shared, req: &Request, peer: &str) -> HttpReply {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => HttpReply::ok(api::health_body(
+            shared.draining.load(Ordering::SeqCst),
+            shared.queue.depth(),
+        )),
+        ("GET", "/metricsz") => HttpReply::ok(api::metrics_body(&metrics::snapshot())),
+        ("POST", "/v1/score") => handle_score(shared, req, peer),
+        ("POST", "/v1/generate") => handle_generate(shared, req, peer),
+        (_, "/healthz" | "/metricsz" | "/v1/score" | "/v1/generate") => {
+            HttpReply::error(405, &format!("method {} not allowed here", req.method))
+        }
+        (_, path) => HttpReply::error(404, &format!("no route for {path}")),
+    }
+}
+
+fn body_utf8(req: &Request) -> Result<&str, HttpReply> {
+    std::str::from_utf8(&req.body)
+        .map_err(|_| HttpReply::error(400, "request body is not UTF-8"))
+}
+
+fn handle_score(shared: &Shared, req: &Request, peer: &str) -> HttpReply {
+    let body = match body_utf8(req) {
+        Ok(b) => b,
+        Err(reply) => return reply,
+    };
+    let parsed = match api::ScoreRequest::parse(body) {
+        Ok(p) => p,
+        Err(m) => return HttpReply::error(400, &m),
+    };
+    let model = EvalModel {
+        params: &shared.state.params,
+        tokenizer: &shared.state.tokenizer,
+    };
+    let mcq = api::mcq_from_request(&parsed.question, &parsed.options, parsed.group);
+    let job = score_job(&model, &mcq, &shared.state.exemplars, &shared.state.token_config);
+    let client = parsed.client.as_deref().unwrap_or(peer).to_string();
+    admit_and_run(shared, Work::Score(job), &client)
+}
+
+fn handle_generate(shared: &Shared, req: &Request, peer: &str) -> HttpReply {
+    let body = match body_utf8(req) {
+        Ok(b) => b,
+        Err(reply) => return reply,
+    };
+    let parsed = match api::GenerateRequest::parse(body) {
+        Ok(p) => p,
+        Err(m) => return HttpReply::error(400, &m),
+    };
+    let model = EvalModel {
+        params: &shared.state.params,
+        tokenizer: &shared.state.tokenizer,
+    };
+    let mcq = api::mcq_from_request(&parsed.question, &parsed.options, parsed.group);
+    let job = generate_job(
+        &model,
+        &mcq,
+        &shared.state.instruct_config,
+        Rng::seed_from(parsed.seed),
+    );
+    let client = parsed.client.as_deref().unwrap_or(peer).to_string();
+    admit_and_run(
+        shared,
+        Work::Generate {
+            job,
+            options: parsed.options,
+        },
+        &client,
+    )
+}
+
+/// Admission gauntlet, queue push, and the wait for a scheduler reply.
+fn admit_and_run(shared: &Shared, work: Work, client: &str) -> HttpReply {
+    if shared.draining.load(Ordering::SeqCst) {
+        return HttpReply::retry(503, 1, "server is draining");
+    }
+    if let Admission::RetryAfter(secs) = shared.limiter.admit(client) {
+        metrics::counter("gateway.rate_limited").add(1);
+        return HttpReply::retry(429, secs, &format!("rate limit exceeded for {client:?}"));
+    }
+    let (tx, rx) = mpsc::channel();
+    let now = Instant::now();
+    let pending = Pending {
+        work,
+        reply: tx,
+        deadline: now + shared.config.deadline,
+        enqueued: now,
+    };
+    match shared.queue.try_push(pending) {
+        Ok(depth) => metrics::gauge("gateway.queue_depth").set(depth as i64),
+        Err(PushError::Full(_)) => {
+            metrics::counter("gateway.backpressure").add(1);
+            return HttpReply::retry(503, 1, "request queue is full");
+        }
+        Err(PushError::Closed(_)) => return HttpReply::retry(503, 1, "server is draining"),
+    }
+    shared.accepted.fetch_add(1, Ordering::SeqCst);
+    match rx.recv_timeout(shared.config.deadline) {
+        Ok(reply) => {
+            shared.completed.fetch_add(1, Ordering::SeqCst);
+            match reply {
+                Reply::Score { scores, prediction } => {
+                    HttpReply::ok(api::score_body(&scores, prediction))
+                }
+                Reply::Generate {
+                    prediction,
+                    stage,
+                    raw,
+                } => HttpReply::ok(api::generate_body(prediction, stage, &raw)),
+                Reply::Expired => HttpReply::error(504, "deadline expired before execution"),
+                Reply::Error(m) => HttpReply::error(500, &m),
+            }
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            metrics::counter("gateway.deadline_timeouts").add(1);
+            HttpReply::error(504, "deadline expired waiting for the scheduler")
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            HttpReply::error(503, "scheduler stopped before answering")
+        }
+    }
+}

@@ -30,6 +30,8 @@ pub const SITES: &[&str] = &[
     "serve.cache_full",
     "io.partial_read",
     "study.stage_boundary",
+    "gateway.accept_fail",
+    "gateway.slow_client",
 ];
 
 /// Panic payload used when a plan injects a panic (the thread pool's

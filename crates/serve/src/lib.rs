@@ -91,7 +91,42 @@ impl EngineConfig {
     pub fn is_serial_uncached(&self) -> bool {
         self.parallelism == 1 && !self.prefix_cache
     }
+
+    /// Structural validation, mirroring `StudyConfig`/`TrainerConfig`:
+    /// reject configurations that would oversubscribe the pool or pin an
+    /// absurd cache budget before any session memory is allocated. Called
+    /// at gateway startup and from both eval-config `validate()`s.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.parallelism > MAX_PARALLELISM {
+            return Err(format!(
+                "engine parallelism {} exceeds the {MAX_PARALLELISM}-worker bound \
+                 (use 0 for auto-sizing)",
+                self.parallelism
+            ));
+        }
+        if self.max_cache_bytes > MAX_CACHE_BYTES {
+            return Err(format!(
+                "engine max_cache_bytes {} exceeds the {MAX_CACHE_BYTES}-byte (1 TiB) bound",
+                self.max_cache_bytes
+            ));
+        }
+        if !self.prefix_cache && self.max_cache_bytes != 0 {
+            return Err(format!(
+                "engine max_cache_bytes {} is set but prefix_cache is disabled; \
+                 the budget would silently do nothing",
+                self.max_cache_bytes
+            ));
+        }
+        Ok(())
+    }
 }
+
+/// Upper bound on explicit worker counts: far beyond any machine this
+/// workspace targets, so a value above it is a config typo, not a tune.
+pub const MAX_PARALLELISM: usize = 256;
+
+/// Upper bound on an explicit prefix-cache budget (1 TiB).
+pub const MAX_CACHE_BYTES: usize = 1 << 40;
 
 impl Default for EngineConfig {
     /// Defaults to [`EngineConfig::serial`] so existing call sites keep
@@ -130,5 +165,52 @@ mod tests {
             max_cache_bytes: 0,
         };
         assert!(!c.is_serial_uncached());
+    }
+
+    #[test]
+    fn validate_accepts_the_stock_configurations() {
+        for c in [
+            EngineConfig::serial(),
+            EngineConfig::pooled(),
+            EngineConfig::pooled_with(8),
+            EngineConfig {
+                parallelism: 2,
+                prefix_cache: true,
+                max_cache_bytes: 64 << 20,
+            },
+        ] {
+            assert_eq!(c.validate(), Ok(()), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_oversubscribed_pool() {
+        let c = EngineConfig {
+            parallelism: MAX_PARALLELISM + 1,
+            ..EngineConfig::pooled()
+        };
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("parallelism"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_absurd_cache_budget() {
+        let c = EngineConfig {
+            max_cache_bytes: MAX_CACHE_BYTES + 1,
+            ..EngineConfig::pooled()
+        };
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("max_cache_bytes"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_budget_without_cache() {
+        let c = EngineConfig {
+            parallelism: 1,
+            prefix_cache: false,
+            max_cache_bytes: 4096,
+        };
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("prefix_cache"), "{err}");
     }
 }

@@ -1,0 +1,226 @@
+//! Concurrency property: a single shared [`EvalEngine`] hammered by
+//! interleaved `score_batch` and `generate_batch` calls from many
+//! threads must return **bitwise identical** results to a serial,
+//! uncached, fresh-engine-per-job reference — including while a
+//! `serve.cache_full` fault plan is armed. This is the exact contract
+//! the gateway's micro-batching scheduler relies on: whatever batch
+//! composition the wall clock produces across concurrent clients, the
+//! answers cannot change.
+//!
+//! The fault registry is process-global, so the injected test takes
+//! `GATE` before arming a plan (same pattern as `tests/resilience_chaos.rs`).
+
+use astro_model::{ModelConfig, Params, SamplerConfig};
+use astro_prng::Rng;
+use astro_resilience::fault::{self, FaultPlan};
+use astro_serve::{EngineConfig, EvalEngine, GenerateJob, ScoreJob, ScoreReadout};
+use std::sync::{Arc, Mutex, PoisonError};
+
+static GATE: Mutex<()> = Mutex::new(());
+
+fn gate() -> std::sync::MutexGuard<'static, ()> {
+    GATE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn setup(seed: u64) -> (ModelConfig, Params) {
+    let cfg = ModelConfig::tiny(24);
+    let params = Params::init(cfg, &mut Rng::seed_from(seed));
+    (cfg, params)
+}
+
+/// Synthetic score jobs with a shared preamble so the prefix cache is
+/// actually exercised (and contended) across threads.
+fn score_jobs(rng: &mut Rng, n: usize, vocab: usize) -> Vec<ScoreJob> {
+    let groups: Vec<Vec<Vec<u32>>> = vec![
+        vec![vec![1, 2], vec![3]],
+        vec![vec![4]],
+        vec![vec![5, 6]],
+        vec![vec![7]],
+    ];
+    (0..n)
+        .map(|i| {
+            let mut prompt = vec![9u32, 8, 7, (i % 3) as u32];
+            for _ in 0..(2 + rng.next_u64() % 4) {
+                prompt.push((rng.next_u64() % vocab as u64) as u32);
+            }
+            ScoreJob {
+                prompt,
+                group: Some((i % 3) as u64),
+                readout: ScoreReadout::ContinuationGroups(groups.clone()),
+            }
+        })
+        .collect()
+}
+
+/// Synthetic generate jobs; per-job deterministic RNG seeds.
+fn generate_jobs(rng: &mut Rng, n: usize, vocab: usize) -> Vec<GenerateJob> {
+    (0..n)
+        .map(|i| {
+            let mut prompt = vec![9u32, 8, 7, (i % 3) as u32];
+            for _ in 0..(1 + rng.next_u64() % 4) {
+                prompt.push((rng.next_u64() % vocab as u64) as u32);
+            }
+            GenerateJob {
+                prompt,
+                group: Some((i % 3) as u64),
+                max_new: 5,
+                sampler: SamplerConfig::greedy(),
+                rng: Rng::seed_from(1000 + i as u64),
+                stop: vec![0],
+            }
+        })
+        .collect()
+}
+
+/// Reference results: a fresh serial uncached engine per single-job
+/// batch — the strongest possible isolation between jobs.
+fn reference_scores(params: &Params, jobs: &[ScoreJob]) -> Vec<Vec<f32>> {
+    jobs.iter()
+        .map(|j| {
+            let engine = EvalEngine::new(EngineConfig::serial(), params);
+            let mut out = engine.score_batch(vec![j.clone()]);
+            out.remove(0).expect("reference score job failed")
+        })
+        .collect()
+}
+
+fn reference_generations(params: &Params, jobs: &[GenerateJob]) -> Vec<Vec<u32>> {
+    jobs.iter()
+        .map(|j| {
+            let engine = EvalEngine::new(EngineConfig::serial(), params);
+            let mut out = engine.generate_batch(vec![j.clone()]);
+            out.remove(0).expect("reference generate job failed")
+        })
+        .collect()
+}
+
+fn bits(scores: &[f32]) -> Vec<u32> {
+    scores.iter().map(|s| s.to_bits()).collect()
+}
+
+/// Run `threads` workers against one shared engine. Each worker
+/// interleaves score and generate calls over its own job slice, in
+/// small batches, and asserts bitwise parity against the references.
+#[allow(clippy::too_many_arguments)]
+fn hammer(
+    params: &Params,
+    engine_cfg: EngineConfig,
+    threads: usize,
+    score: &[ScoreJob],
+    score_ref: &[Vec<f32>],
+    generate: &[GenerateJob],
+    gen_ref: &[Vec<u32>],
+    label: &str,
+) {
+    let engine = Arc::new(EvalEngine::new(engine_cfg, params));
+    let per_s = score.len() / threads;
+    let per_g = generate.len() / threads;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let engine = Arc::clone(&engine);
+            let s_jobs = &score[t * per_s..(t + 1) * per_s];
+            let s_refs = &score_ref[t * per_s..(t + 1) * per_s];
+            let g_jobs = &generate[t * per_g..(t + 1) * per_g];
+            let g_refs = &gen_ref[t * per_g..(t + 1) * per_g];
+            scope.spawn(move || {
+                // Interleave: score pair, generate pair, repeat — so both
+                // kinds of work contend for the same prefix cache at once.
+                let mut si = 0;
+                let mut gi = 0;
+                while si < s_jobs.len() || gi < g_jobs.len() {
+                    if si < s_jobs.len() {
+                        let hi = (si + 2).min(s_jobs.len());
+                        let got = engine.score_batch(s_jobs[si..hi].to_vec());
+                        for (k, r) in got.into_iter().enumerate() {
+                            let scores = r.expect("score job errored");
+                            assert_eq!(
+                                bits(&scores),
+                                bits(&s_refs[si + k]),
+                                "{label}: thread {t} score job {} diverged",
+                                si + k
+                            );
+                        }
+                        si = hi;
+                    }
+                    if gi < g_jobs.len() {
+                        let hi = (gi + 2).min(g_jobs.len());
+                        let got = engine.generate_batch(g_jobs[gi..hi].to_vec());
+                        for (k, r) in got.into_iter().enumerate() {
+                            let tokens = r.expect("generate job errored");
+                            assert_eq!(
+                                tokens,
+                                g_refs[gi + k],
+                                "{label}: thread {t} generate job {} diverged",
+                                gi + k
+                            );
+                        }
+                        gi = hi;
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn four_threads_interleaved_match_serial_bitwise() {
+    let _gate = gate();
+    fault::clear();
+    let (cfg, params) = setup(31);
+    let mut rng = Rng::seed_from(32);
+    let score = score_jobs(&mut rng, 16, cfg.vocab_size);
+    let generate = generate_jobs(&mut rng, 16, cfg.vocab_size);
+    let score_ref = reference_scores(&params, &score);
+    let gen_ref = reference_generations(&params, &generate);
+    for engine_cfg in [
+        EngineConfig {
+            parallelism: 1,
+            prefix_cache: true,
+            max_cache_bytes: 0,
+        },
+        EngineConfig::pooled_with(2),
+        EngineConfig::pooled_with(4),
+    ] {
+        hammer(
+            &params,
+            engine_cfg,
+            4,
+            &score,
+            &score_ref,
+            &generate,
+            &gen_ref,
+            &format!("{engine_cfg:?}"),
+        );
+    }
+}
+
+#[test]
+fn concurrency_parity_survives_cache_full_injection() {
+    let _gate = gate();
+    let (cfg, params) = setup(33);
+    let mut rng = Rng::seed_from(34);
+    let score = score_jobs(&mut rng, 12, cfg.vocab_size);
+    let generate = generate_jobs(&mut rng, 12, cfg.vocab_size);
+    let score_ref = reference_scores(&params, &score);
+    let gen_ref = reference_generations(&params, &generate);
+    // Arm the fault at several hit counts so the retry path fires at
+    // different points in the interleaving; results must never change.
+    for hit in [1u64, 3, 9] {
+        fault::install(FaultPlan::single("serve.cache_full", hit));
+        hammer(
+            &params,
+            EngineConfig::pooled_with(4),
+            4,
+            &score,
+            &score_ref,
+            &generate,
+            &gen_ref,
+            &format!("cache_full hit {hit}"),
+        );
+        assert!(
+            fault::fired("serve.cache_full"),
+            "hit {hit}: plan never fired — injection not exercised"
+        );
+        fault::clear();
+    }
+}

@@ -36,6 +36,12 @@ pub const RANKS: &[LockRank] = &[
     // (e.g. the fault-injection registry) sit below every runtime lock:
     // a test holds its gate for the whole test body.
     LockRank { name: "test.fault_gate", rank: 2 },
+    // Gateway admission locks sit below the engine/pool locks: a request
+    // handler consults the rate limiter, releases it, then pushes to the
+    // queue; neither lock is ever held across an engine call, but ranking
+    // them low keeps "gateway lock → engine lock → telemetry" legal.
+    LockRank { name: "gateway.limiter", rank: 4 },
+    LockRank { name: "gateway.queue", rank: 6 },
     LockRank { name: "parallel.pool.receiver", rank: 10 },
     LockRank { name: "parallel.pool.pending", rank: 12 },
     LockRank { name: "parallel.device.mailbox", rank: 14 },
@@ -130,6 +136,29 @@ mod imp {
 
 pub use imp::{acquire, held_count, LockToken};
 
+/// Acquire a ranked mutex, recovering from poisoning.
+///
+/// Combines the rank check with `Mutex::lock` and maps a poisoned mutex
+/// to its inner guard (`PoisonError::into_inner`): a panic on another
+/// thread must never cascade into infrastructure code — the protected
+/// state is simple enough that every critical section leaves it
+/// structurally valid. Keep both returned values alive for the critical
+/// section; the token records the release when dropped.
+///
+/// The static analyzer (`astro-audit locks`) recognises
+/// `lockcheck::lock_ranked("name", ...)` sites exactly like
+/// `lockcheck::acquire("name")` ones.
+pub fn lock_ranked<'a, T>(
+    name: &'static str,
+    mutex: &'a std::sync::Mutex<T>,
+) -> (LockToken, std::sync::MutexGuard<'a, T>) {
+    let token = acquire(name);
+    let guard = mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    (token, guard)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,5 +221,24 @@ mod tests {
     fn rank_lookup() {
         assert_eq!(rank_of("telemetry.sink"), Some(30));
         assert_eq!(rank_of("nope"), None);
+    }
+
+    #[test]
+    fn lock_ranked_recovers_from_poison() {
+        use std::sync::Mutex;
+        static POISONED: Mutex<u32> = Mutex::new(0);
+        let _ = std::thread::Builder::new()
+            .name("poisoner".into())
+            .spawn(|| {
+                let _g = POISONED.lock().unwrap();
+                panic!("deliberately poison the mutex");
+            })
+            .unwrap()
+            .join();
+        assert!(POISONED.is_poisoned());
+        let (_t, mut g) = lock_ranked("telemetry.sink", &POISONED);
+        *g += 1;
+        assert_eq!(*g, 1);
+        assert_eq!(held_count(), if cfg!(debug_assertions) { 1 } else { 0 });
     }
 }

@@ -184,8 +184,7 @@ fn registry() -> &'static Mutex<Registry> {
 
 /// Get or create the counter `name`.
 pub fn counter(name: &str) -> Counter {
-    let _order = crate::lockcheck::acquire("telemetry.metrics.registry");
-    let mut reg = registry().lock().expect("metrics registry poisoned");
+    let (_order, mut reg) = crate::lockcheck::lock_ranked("telemetry.metrics.registry", registry());
     reg.counters
         .entry(name.to_string())
         .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
@@ -194,8 +193,7 @@ pub fn counter(name: &str) -> Counter {
 
 /// Get or create the gauge `name`.
 pub fn gauge(name: &str) -> Gauge {
-    let _order = crate::lockcheck::acquire("telemetry.metrics.registry");
-    let mut reg = registry().lock().expect("metrics registry poisoned");
+    let (_order, mut reg) = crate::lockcheck::lock_ranked("telemetry.metrics.registry", registry());
     reg.gauges
         .entry(name.to_string())
         .or_insert_with(|| Gauge(Arc::new(AtomicI64::new(0))))
@@ -210,8 +208,7 @@ pub fn histogram(name: &str) -> Histogram {
 /// Get or create the histogram `name`; `bounds` (strictly increasing
 /// upper boundaries) apply only on first creation, empty means default.
 pub fn histogram_with(name: &str, bounds: &[f64]) -> Histogram {
-    let _order = crate::lockcheck::acquire("telemetry.metrics.registry");
-    let mut reg = registry().lock().expect("metrics registry poisoned");
+    let (_order, mut reg) = crate::lockcheck::lock_ranked("telemetry.metrics.registry", registry());
     reg.histograms
         .entry(name.to_string())
         .or_insert_with(|| {
@@ -256,8 +253,7 @@ pub struct MetricsSnapshot {
 
 /// Snapshot all metrics (sorted by name; zero-count entries included).
 pub fn snapshot() -> MetricsSnapshot {
-    let _order = crate::lockcheck::acquire("telemetry.metrics.registry");
-    let reg = registry().lock().expect("metrics registry poisoned");
+    let (_order, reg) = crate::lockcheck::lock_ranked("telemetry.metrics.registry", registry());
     MetricsSnapshot {
         counters: reg.counters.iter().map(|(k, c)| (k.clone(), c.get())).collect(),
         gauges: reg.gauges.iter().map(|(k, g)| (k.clone(), g.get())).collect(),
@@ -285,8 +281,7 @@ pub fn snapshot() -> MetricsSnapshot {
 /// Drop every registered metric (tests and multi-run binaries). Existing
 /// handles keep working but detach from the registry.
 pub fn reset() {
-    let _order = crate::lockcheck::acquire("telemetry.metrics.registry");
-    let mut reg = registry().lock().expect("metrics registry poisoned");
+    let (_order, mut reg) = crate::lockcheck::lock_ranked("telemetry.metrics.registry", registry());
     *reg = Registry::default();
 }
 

@@ -39,8 +39,7 @@ pub fn init_memory() {
 }
 
 fn install(target: Target) {
-    let _order = crate::lockcheck::acquire("telemetry.sink");
-    let mut sink = SINK.lock().expect("sink poisoned");
+    let (_order, mut sink) = crate::lockcheck::lock_ranked("telemetry.sink", &SINK);
     if let Some(Target::File(mut w)) = sink.take() {
         let _ = w.flush();
     }
@@ -53,8 +52,7 @@ pub fn emit_line(line: &str) {
     if !is_active() {
         return;
     }
-    let _order = crate::lockcheck::acquire("telemetry.sink");
-    let mut sink = SINK.lock().expect("sink poisoned");
+    let (_order, mut sink) = crate::lockcheck::lock_ranked("telemetry.sink", &SINK);
     match sink.as_mut() {
         Some(Target::File(w)) => {
             let _ = writeln!(w, "{line}");
@@ -66,8 +64,7 @@ pub fn emit_line(line: &str) {
 
 /// Drain the in-memory sink's lines (empty for a file sink or no sink).
 pub fn drain_memory() -> Vec<String> {
-    let _order = crate::lockcheck::acquire("telemetry.sink");
-    let mut sink = SINK.lock().expect("sink poisoned");
+    let (_order, mut sink) = crate::lockcheck::lock_ranked("telemetry.sink", &SINK);
     match sink.as_mut() {
         Some(Target::Memory(lines)) => std::mem::take(lines),
         _ => Vec::new(),
@@ -76,8 +73,7 @@ pub fn drain_memory() -> Vec<String> {
 
 /// Flush and uninstall the sink (file contents become visible on disk).
 pub fn close() {
-    let _order = crate::lockcheck::acquire("telemetry.sink");
-    let mut sink = SINK.lock().expect("sink poisoned");
+    let (_order, mut sink) = crate::lockcheck::lock_ranked("telemetry.sink", &SINK);
     if let Some(Target::File(mut w)) = sink.take() {
         let _ = w.flush();
     }
@@ -87,8 +83,7 @@ pub fn close() {
 
 /// Flush the file sink without uninstalling it.
 pub fn flush() {
-    let _order = crate::lockcheck::acquire("telemetry.sink");
-    let mut sink = SINK.lock().expect("sink poisoned");
+    let (_order, mut sink) = crate::lockcheck::lock_ranked("telemetry.sink", &SINK);
     if let Some(Target::File(w)) = sink.as_mut() {
         let _ = w.flush();
     }

@@ -68,8 +68,8 @@ pub fn span_with(name: &str, attrs: Vec<(String, String)>) -> SpanGuard {
     let start_us = crate::elapsed_us();
     let parent = STACK.with(|s| s.borrow().last().copied());
     let id = {
-        let _order = crate::lockcheck::acquire("telemetry.span.registry");
-        let mut reg = REGISTRY.lock().expect("span registry poisoned");
+        let (_order, mut reg) =
+            crate::lockcheck::lock_ranked("telemetry.span.registry", &REGISTRY);
         let id = reg.len();
         reg.push(SpanRecord {
             id,
@@ -96,8 +96,8 @@ impl SpanGuard {
     /// processed, so the summary can derive a rate over the span's wall
     /// time).
     pub fn record_f64(&self, key: &str, v: f64) {
-        let _order = crate::lockcheck::acquire("telemetry.span.registry");
-        let mut reg = REGISTRY.lock().expect("span registry poisoned");
+        let (_order, mut reg) =
+            crate::lockcheck::lock_ranked("telemetry.span.registry", &REGISTRY);
         let Some(rec) = reg.get_mut(self.id) else { return };
         if let Some(slot) = rec.nums.iter_mut().find(|(k, _)| k == key) {
             slot.1 = v;
@@ -119,8 +119,8 @@ impl Drop for SpanGuard {
         // Copy what the event needs, then release the lock before emitting.
         // A guard outliving a `reset()` finds no record; close silently.
         let (name, attrs, nums, dur_us) = {
-            let _order = crate::lockcheck::acquire("telemetry.span.registry");
-            let mut reg = REGISTRY.lock().expect("span registry poisoned");
+            let (_order, mut reg) =
+                crate::lockcheck::lock_ranked("telemetry.span.registry", &REGISTRY);
             match reg.get_mut(self.id) {
                 Some(rec) => {
                     rec.end_us = Some(end_us);
@@ -170,15 +170,17 @@ macro_rules! span {
 
 /// Snapshot the registry (open spans included).
 pub fn snapshot() -> Vec<SpanRecord> {
-    let _order = crate::lockcheck::acquire("telemetry.span.registry");
-    REGISTRY.lock().expect("span registry poisoned").clone()
+    let (_order, reg) = crate::lockcheck::lock_ranked("telemetry.span.registry", &REGISTRY);
+    reg.clone()
 }
 
 /// Clear the registry and the calling thread's span stack (tests and
 /// multi-run binaries).
 pub fn reset() {
-    let _order = crate::lockcheck::acquire("telemetry.span.registry");
-    REGISTRY.lock().expect("span registry poisoned").clear();
+    let (_order, mut reg) = crate::lockcheck::lock_ranked("telemetry.span.registry", &REGISTRY);
+    reg.clear();
+    drop(reg);
+    drop(_order);
     STACK.with(|s| s.borrow_mut().clear());
 }
 

@@ -1,0 +1,342 @@
+//! End-to-end gateway tests over real sockets: bitwise parity with the
+//! in-process serial path, the admission-control status matrix,
+//! graceful drain with zero accepted-request loss, injected gateway
+//! faults, and a hard abort mid-burst.
+//!
+//! The fault registry and the metrics registry are process-global, so
+//! every test takes `GATE` (same pattern as `tests/resilience_chaos.rs`).
+
+use astro_gateway::{client, Gateway, GatewayConfig, GatewayState};
+use astromlab::eval::json::Json;
+use astromlab::eval::{
+    instruct_method_answer, token_method_predict, EvalModel, InstructEvalConfig, TokenEvalConfig,
+};
+use astromlab::mcq::Mcq;
+use astromlab::model::{Params, Tier};
+use astromlab::prng::Rng;
+use astromlab::{Study, StudyConfig};
+use astro_resilience::fault::{self, FaultPlan};
+use astro_telemetry::event::write_json_string;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+static GATE: Mutex<()> = Mutex::new(());
+
+fn gate() -> std::sync::MutexGuard<'static, ()> {
+    GATE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+struct Ctx {
+    study: Study,
+    params: Arc<Params>,
+    state: GatewayState,
+}
+
+fn setup(seed: u64) -> Ctx {
+    let study = Study::prepare(StudyConfig::micro(seed)).expect("prepare");
+    let params = Arc::new(Params::init(
+        study.model_config(Tier::S7b),
+        &mut Rng::seed_from(seed + 1),
+    ));
+    let state = GatewayState {
+        params: Arc::clone(&params),
+        tokenizer: Arc::new(study.tokenizer.clone()),
+        exemplars: Arc::new(study.mcq.exemplars.clone()),
+        token_config: TokenEvalConfig::default(),
+        instruct_config: InstructEvalConfig::default(),
+    };
+    Ctx {
+        study,
+        params,
+        state,
+    }
+}
+
+fn score_body(q: &Mcq, client_id: Option<&str>) -> String {
+    let mut out = String::from("{\"question\":");
+    write_json_string(&mut out, &q.question);
+    out.push_str(",\"options\":[");
+    for (i, opt) in q.options.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_json_string(&mut out, opt);
+    }
+    out.push_str(&format!("],\"group\":{}", q.article));
+    if let Some(c) = client_id {
+        out.push_str(",\"client\":");
+        write_json_string(&mut out, c);
+    }
+    out.push('}');
+    out
+}
+
+fn generate_body(q: &Mcq, seed: u64) -> String {
+    let mut out = score_body(q, None);
+    out.pop();
+    out.push_str(&format!(",\"seed\":{seed}}}"));
+    out
+}
+
+fn json_u32s(v: &Json, key: &str) -> Vec<u32> {
+    let Some(Json::Array(items)) = v.get(key) else {
+        panic!("missing array {key:?} in {v:?}");
+    };
+    items
+        .iter()
+        .map(|i| match i {
+            Json::Number(n) => *n as u32,
+            other => panic!("{key:?} entry not a number: {other:?}"),
+        })
+        .collect()
+}
+
+fn counter_value(name: &str) -> u64 {
+    astro_telemetry::metrics::snapshot()
+        .counters
+        .into_iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v)
+        .unwrap_or(0)
+}
+
+#[test]
+fn socket_responses_match_in_process_serial_path_bitwise() {
+    let _gate = gate();
+    fault::clear();
+    let ctx = setup(41);
+    let model = EvalModel {
+        params: &ctx.params,
+        tokenizer: &ctx.state.tokenizer,
+    };
+    let questions = ctx.study.eval_questions();
+    let n = questions.len().min(3);
+    let gw = Gateway::spawn(GatewayConfig::default(), ctx.state.clone()).expect("spawn");
+    let addr = gw.addr();
+
+    for (i, q) in questions.iter().take(n).enumerate() {
+        // Token method over the socket vs in-process serial.
+        let resp = client::post_json(addr, "/v1/score", &score_body(q, None), TIMEOUT)
+            .expect("score request");
+        assert_eq!(resp.status, 200, "q{i}: {}", resp.body);
+        let v = Json::parse(&resp.body).expect("score body parses");
+        let got_bits = json_u32s(&v, "score_bits");
+        let (ref_pred, ref_scores) =
+            token_method_predict(&model, q, &ctx.study.mcq.exemplars, &ctx.state.token_config);
+        let ref_bits: Vec<u32> = ref_scores.iter().map(|s| s.to_bits()).collect();
+        assert_eq!(got_bits, ref_bits, "q{i}: score bits diverged");
+        match v.get("prediction") {
+            Some(Json::Number(p)) => assert_eq!(*p as usize, ref_pred, "q{i}: prediction"),
+            other => panic!("q{i}: bad prediction {other:?}"),
+        }
+
+        // Full-instruct method with a per-request seed.
+        let seed = 900 + i as u64;
+        let resp = client::post_json(addr, "/v1/generate", &generate_body(q, seed), TIMEOUT)
+            .expect("generate request");
+        assert_eq!(resp.status, 200, "q{i}: {}", resp.body);
+        let v = Json::parse(&resp.body).expect("generate body parses");
+        let mut rng = Rng::seed_from(seed);
+        let reference = instruct_method_answer(&model, q, &ctx.state.instruct_config, &mut rng);
+        assert!(reference.error.is_none());
+        assert_eq!(
+            v.get("raw").and_then(Json::as_str),
+            Some(reference.raw.as_str()),
+            "q{i}: raw generation diverged"
+        );
+        match (v.get("prediction"), reference.prediction) {
+            (Some(Json::Number(p)), Some(r)) => assert_eq!(*p as usize, r, "q{i}"),
+            (Some(Json::Null), None) => {}
+            (got, want) => panic!("q{i}: prediction {got:?} vs {want:?}"),
+        }
+    }
+
+    let stats = gw.shutdown();
+    assert!(stats.drained_clean, "{stats:?}");
+    assert_eq!(stats.accepted, 2 * n as u64);
+    assert_eq!(stats.accepted, stats.completed);
+}
+
+#[test]
+fn admission_control_status_matrix() {
+    let _gate = gate();
+    fault::clear();
+    let ctx = setup(43);
+    let config = GatewayConfig {
+        rate_per_sec: 0.5,
+        burst: 2.0,
+        max_body_bytes: 4096,
+        ..GatewayConfig::default()
+    };
+    let gw = Gateway::spawn(config, ctx.state.clone()).expect("spawn");
+    let addr = gw.addr();
+    let q = ctx.study.eval_questions()[0].clone();
+
+    // Routing and health.
+    let resp = client::get(addr, "/healthz", TIMEOUT).expect("healthz");
+    assert_eq!(resp.status, 200);
+    assert!(resp.body.contains("\"status\":\"ok\""), "{}", resp.body);
+    let resp = client::get(addr, "/metricsz", TIMEOUT).expect("metricsz");
+    assert_eq!(resp.status, 200);
+    assert!(Json::parse(&resp.body).is_ok(), "{}", resp.body);
+    assert_eq!(client::get(addr, "/v1/score", TIMEOUT).expect("405").status, 405);
+    assert_eq!(client::get(addr, "/nope", TIMEOUT).expect("404").status, 404);
+
+    // Schema errors.
+    let resp = client::post_json(addr, "/v1/score", "not json", TIMEOUT).expect("400");
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.contains("invalid JSON"), "{}", resp.body);
+
+    // Payload bound: declared body larger than max_body_bytes.
+    let huge = format!(
+        "{{\"question\":\"{}\",\"options\":[\"a\",\"b\",\"c\",\"d\"]}}",
+        "x".repeat(8192)
+    );
+    let resp = client::post_json(addr, "/v1/score", &huge, TIMEOUT).expect("413");
+    assert_eq!(resp.status, 413, "{}", resp.body);
+
+    // Rate limit: burst of 2, then a 429 with Retry-After.
+    let body = score_body(&q, Some("greedy-client"));
+    for i in 0..2 {
+        let resp = client::post_json(addr, "/v1/score", &body, TIMEOUT).expect("burst");
+        assert_eq!(resp.status, 200, "burst {i}: {}", resp.body);
+    }
+    let resp = client::post_json(addr, "/v1/score", &body, TIMEOUT).expect("limited");
+    assert_eq!(resp.status, 429, "{}", resp.body);
+    let retry: u64 = resp
+        .header("Retry-After")
+        .and_then(|v| v.parse().ok())
+        .expect("Retry-After header");
+    assert!(retry >= 1);
+    // A different client identity is unaffected.
+    let other = score_body(&q, Some("patient-client"));
+    let resp = client::post_json(addr, "/v1/score", &other, TIMEOUT).expect("other client");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+
+    let stats = gw.shutdown();
+    assert!(stats.drained_clean, "{stats:?}");
+}
+
+#[test]
+fn graceful_drain_answers_every_accepted_request() {
+    let _gate = gate();
+    fault::clear();
+    let ctx = setup(47);
+    let gw = Gateway::spawn(GatewayConfig::default(), ctx.state.clone()).expect("spawn");
+    let addr = gw.addr();
+    let questions: Vec<Mcq> = ctx
+        .study
+        .eval_questions()
+        .into_iter()
+        .cloned()
+        .collect();
+
+    // A burst of concurrent clients, then shutdown while they are in
+    // flight. Every request the gateway accepted must get a real answer;
+    // late arrivals may see 503 (draining) or a refused connect — both
+    // typed, never a hang or a torn response.
+    let oks = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..6)
+            .map(|t| {
+                let q = questions[t % questions.len()].clone();
+                let body = score_body(&q, Some(&format!("drain-client-{t}")));
+                scope.spawn(move || {
+                    let mut oks = 0;
+                    for _ in 0..2 {
+                        match client::post_json(addr, "/v1/score", &body, TIMEOUT) {
+                            Ok(resp) if resp.status == 200 => {
+                                assert!(Json::parse(&resp.body).is_ok(), "{}", resp.body);
+                                oks += 1;
+                            }
+                            Ok(resp) => assert_eq!(resp.status, 503, "{}", resp.body),
+                            Err(_refused_or_reset) => {}
+                        }
+                    }
+                    oks
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(20));
+        let stats = gw.shutdown();
+        assert!(stats.drained_clean, "{stats:?}");
+        assert_eq!(stats.accepted, stats.completed, "{stats:?}");
+        handles.into_iter().map(|h| h.join().expect("client")).sum::<u64>()
+    });
+    assert!(oks > 0, "no request completed before the drain");
+}
+
+#[test]
+fn injected_gateway_faults_are_absorbed_without_panics() {
+    let _gate = gate();
+    fault::clear();
+    let panics_before = counter_value("gateway.handler_panics");
+    let ctx = setup(53);
+    let gw = Gateway::spawn(GatewayConfig::default(), ctx.state.clone()).expect("spawn");
+    let addr = gw.addr();
+
+    // accept_fail: the next connection is dropped before a handler
+    // exists; the client sees a typed transport error and a retry works.
+    fault::install(FaultPlan::single("gateway.accept_fail", 1));
+    let dropped = client::get(addr, "/healthz", Duration::from_secs(2));
+    assert!(dropped.is_err(), "dropped connection should error: {dropped:?}");
+    assert!(fault::fired("gateway.accept_fail"));
+    let resp = client::get(addr, "/healthz", TIMEOUT).expect("retry after accept_fail");
+    assert_eq!(resp.status, 200);
+    fault::clear();
+
+    // slow_client: the handler answers 408 exactly like a read timeout.
+    fault::install(FaultPlan::single("gateway.slow_client", 1));
+    let resp = client::get(addr, "/healthz", TIMEOUT).expect("slow client response");
+    assert_eq!(resp.status, 408, "{}", resp.body);
+    assert!(fault::fired("gateway.slow_client"));
+    fault::clear();
+
+    let resp = client::get(addr, "/healthz", TIMEOUT).expect("healthy again");
+    assert_eq!(resp.status, 200);
+    let stats = gw.shutdown();
+    assert!(stats.drained_clean, "{stats:?}");
+    assert_eq!(counter_value("gateway.handler_panics"), panics_before);
+}
+
+#[test]
+fn abort_mid_burst_yields_typed_errors() {
+    let _gate = gate();
+    fault::clear();
+    let panics_before = counter_value("gateway.handler_panics");
+    let ctx = setup(59);
+    let gw = Gateway::spawn(GatewayConfig::default(), ctx.state.clone()).expect("spawn");
+    let addr = gw.addr();
+    let q = ctx.study.eval_questions()[0].clone();
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let body = score_body(&q, Some(&format!("abort-client-{t}")));
+                scope.spawn(move || {
+                    for _ in 0..3 {
+                        match client::post_json(addr, "/v1/score", &body, TIMEOUT) {
+                            // Completed before the abort, rejected during
+                            // it, or refused after it — all acceptable,
+                            // all typed.
+                            Ok(resp) => assert!(
+                                matches!(resp.status, 200 | 503 | 504),
+                                "unexpected status {}: {}",
+                                resp.status,
+                                resp.body
+                            ),
+                            Err(_refused_or_reset) => {}
+                        }
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(10));
+        gw.abort();
+        for h in handles {
+            h.join().expect("client thread");
+        }
+    });
+    assert_eq!(counter_value("gateway.handler_panics"), panics_before);
+}
