@@ -1,0 +1,190 @@
+//! Bench-regression gate: compare the machine-portable metrics of a
+//! fresh bench run against committed baselines.
+//!
+//! ```sh
+//! cargo run --release -p astro-bench --bin bench_regression -- \
+//!     [--current DIR] [--baseline DIR]
+//! ```
+//!
+//! Reads `BENCH_gateway.json` and `BENCH_eval_throughput.json` from the
+//! current directory (or `--current`) and their `.baseline.json`
+//! counterparts from `goldens/` (or `--baseline`). Only **relative**
+//! metrics are compared — speedups, ratios, overhead percentages and
+//! boolean contracts — never absolute req/sec, so the gate holds across
+//! machines of different raw speed:
+//!
+//! * batched-vs-serial `speedup` may not regress more than 10% below its
+//!   baseline (both benches);
+//! * `trace_overhead_pct` must stay under the 2% tracing budget;
+//! * `phase_sum_ratio_{min,max}` must stay within the tiling band;
+//! * `parity` must remain `bitwise` and `drain_clean` true;
+//! * `prefix_hit_rate` may not regress more than 10% below baseline.
+//!
+//! Missing current files fail the gate (the bench did not run); the
+//! comparison report lands in `BENCH_regression.json` and the process
+//! exits non-zero on any violation.
+//!
+//! When refreshing a baseline, record the conservative **floor** of
+//! several quiet-machine runs in its `speedup` field, not a single
+//! lucky run — micro-preset speedups swing ±25% run-to-run, and a
+//! top-of-range baseline turns the 10% band into noise.
+
+use astro_bench::JsonObject;
+use astro_telemetry::info;
+use astro_eval::json::Json;
+
+struct Loaded {
+    label: String,
+    value: Json,
+}
+
+fn load(dir: &str, name: &str) -> Result<Loaded, String> {
+    let path = format!("{dir}/{name}");
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let value = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    Ok(Loaded { label: path, value })
+}
+
+fn num(doc: &Loaded, key: &str) -> Result<f64, String> {
+    match doc.value.get(key) {
+        Some(Json::Number(n)) => Ok(*n),
+        Some(_) => Err(format!("{}: field {key:?} is not a number", doc.label)),
+        None => Err(format!("{}: missing field {key:?}", doc.label)),
+    }
+}
+
+fn text(doc: &Loaded, key: &str) -> Result<String, String> {
+    doc.value
+        .get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("{}: missing string field {key:?}", doc.label))
+}
+
+/// `current` must be at least `1 - tolerance` of `baseline`.
+fn check_floor(
+    failures: &mut Vec<String>,
+    bench: &str,
+    key: &str,
+    current: f64,
+    baseline: f64,
+    tolerance: f64,
+) {
+    let floor = baseline * (1.0 - tolerance);
+    if current < floor {
+        failures.push(format!(
+            "{bench}: {key} regressed {current:.3} < {floor:.3} \
+             (baseline {baseline:.3}, tolerance {:.0}%)",
+            tolerance * 100.0
+        ));
+    } else {
+        info!("bench_regression: {bench}: {key} {current:.3} vs baseline {baseline:.3} ok");
+    }
+}
+
+fn gateway_checks(cur: &Loaded, base: &Loaded, failures: &mut Vec<String>) -> Result<(), String> {
+    check_floor(failures, "gateway", "speedup", num(cur, "speedup")?, num(base, "speedup")?, 0.10);
+    let overhead = num(cur, "trace_overhead_pct")?;
+    // NaN must fail too, hence not a plain `>= 2.0`.
+    if overhead >= 2.0 || overhead.is_nan() {
+        failures.push(format!(
+            "gateway: trace_overhead_pct {overhead:.3} exceeds the 2% tracing budget"
+        ));
+    }
+    let ratio_min = num(cur, "phase_sum_ratio_min")?;
+    let ratio_max = num(cur, "phase_sum_ratio_max")?;
+    if !(0.95..=1.05).contains(&ratio_min) || !(0.95..=1.05).contains(&ratio_max) {
+        failures.push(format!(
+            "gateway: phase attribution ratio band {ratio_min:.3}..{ratio_max:.3} \
+             outside 0.95..=1.05"
+        ));
+    }
+    if text(cur, "parity")? != "bitwise" {
+        failures.push("gateway: parity is no longer bitwise".to_string());
+    }
+    if !matches!(cur.value.get("drain_clean"), Some(Json::Bool(true))) {
+        failures.push("gateway: drain_clean is not true".to_string());
+    }
+    Ok(())
+}
+
+fn eval_checks(cur: &Loaded, base: &Loaded, failures: &mut Vec<String>) -> Result<(), String> {
+    check_floor(failures, "eval", "speedup", num(cur, "speedup")?, num(base, "speedup")?, 0.10);
+    check_floor(
+        failures,
+        "eval",
+        "prefix_hit_rate",
+        num(cur, "prefix_hit_rate")?,
+        num(base, "prefix_hit_rate")?,
+        0.10,
+    );
+    if text(cur, "parity")? != "bitwise" {
+        failures.push("eval: parity is no longer bitwise".to_string());
+    }
+    Ok(())
+}
+
+fn arg_value(args: &[String], flag: &str, default: &str) -> String {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_string())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let current_dir = arg_value(&args, "--current", ".");
+    let baseline_dir = arg_value(&args, "--baseline", "goldens");
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut compared = 0u32;
+    for (name, check) in [
+        (
+            "BENCH_gateway.json",
+            gateway_checks as fn(&Loaded, &Loaded, &mut Vec<String>) -> Result<(), String>,
+        ),
+        ("BENCH_eval_throughput.json", eval_checks),
+    ] {
+        let baseline_name = name.replace(".json", ".baseline.json");
+        let pair = load(&current_dir, name)
+            .and_then(|cur| load(&baseline_dir, &baseline_name).map(|base| (cur, base)));
+        match pair {
+            Ok((cur, base)) => {
+                compared += 1;
+                if let Err(e) = check(&cur, &base, &mut failures) {
+                    failures.push(e);
+                }
+            }
+            Err(e) => failures.push(e),
+        }
+    }
+
+    let mut obj = JsonObject::new();
+    obj.str("bench", "bench_regression")
+        .num("benches_compared", f64::from(compared))
+        .num("violations", failures.len() as f64);
+    let mut list = String::from("[");
+    for (i, f) in failures.iter().enumerate() {
+        if i > 0 {
+            list.push(',');
+        }
+        astro_telemetry::event::write_json_string(&mut list, f);
+    }
+    list.push(']');
+    obj.raw("failures", &list);
+    let json = obj.finish();
+    if let Err(e) = std::fs::write("BENCH_regression.json", &json) {
+        info!("BENCH_regression.json not written: {e}");
+    }
+
+    if failures.is_empty() {
+        info!("bench_regression: OK ({compared} benches within tolerance)");
+    } else {
+        for f in &failures {
+            info!("bench_regression: FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -30,7 +30,7 @@
 use astro_bench::{instrumented_run, JsonObject};
 use astro_gateway::{client, Gateway, GatewayConfig, GatewayState};
 use astro_telemetry::event::write_json_string;
-use astro_telemetry::{info, metrics};
+use astro_telemetry::{info, metrics, trace};
 use astromlab::eval::json::Json;
 use astromlab::eval::{token_method_predict, EvalModel, InstructEvalConfig, TokenEvalConfig};
 use astromlab::mcq::Mcq;
@@ -200,7 +200,10 @@ fn main() {
     // Phase 2: batched gateway, 8 concurrent clients each sending the
     // full question set. The micro-batch window coalesces their requests
     // so the prefix cache deduplicates the shared few-shot preamble.
+    // Trace state resets with the metrics so the attribution section
+    // below sees only batched-phase traces.
     metrics::reset();
+    trace::reset();
     let batched_config = GatewayConfig {
         engine: EngineConfig::pooled(),
         max_batch: 16,
@@ -239,6 +242,129 @@ fn main() {
         "batched-over-socket: {batched_wall:.2}s ({batched_rps:.2} req/sec, \
          {speedup:.2}x serial, mean batch occupancy {occupancy_mean:.2})"
     );
+
+    // --- Trace attribution over the batched phase: per-phase latency
+    // percentiles, the phases-tile-the-request invariant, the analyzer
+    // round-trip (JSONL → astro-trace → Chrome Trace Event JSON), and
+    // the tracing-overhead budget. Snapshots run before phases 3/4 add
+    // their rejection traces. ---
+    let mut trace_failures: Vec<String> = Vec::new();
+    let traces_recorded = trace::stats().ring_len;
+    let jsonl_path = std::path::Path::new("traces.jsonl");
+    let written = trace::write_ring_jsonl(jsonl_path).unwrap_or(0);
+    let report =
+        astro_trace::parse_jsonl(&std::fs::read_to_string(jsonl_path).unwrap_or_default());
+    if report.traces.len() != written || !report.malformed.is_empty() {
+        trace_failures.push(format!(
+            "trace JSONL round-trip: wrote {written}, parsed {} ({} malformed)",
+            report.traces.len(),
+            report.malformed.len()
+        ));
+    }
+
+    // Tiling invariant: each successful request's phase durations must
+    // sum (within slack) to its end-to-end latency — no unattributed
+    // time hiding between phases.
+    let mut ratio_min = f64::INFINITY;
+    let mut ratio_max = f64::NEG_INFINITY;
+    let mut tiling_violations = 0usize;
+    let mut tiled_count = 0usize;
+    for t in report
+        .traces
+        .iter()
+        .filter(|t| t.status == 200 && t.name == "gateway./v1/score")
+    {
+        let e2e = t.duration_us().max(1) as f64;
+        let attributed = t.phase_total_us() as f64;
+        let ratio = attributed / e2e;
+        ratio_min = ratio_min.min(ratio);
+        ratio_max = ratio_max.max(ratio);
+        tiled_count += 1;
+        // 5% relative slack with a 500µs absolute floor: scheduler-side
+        // timestamps quantise to whole microseconds and the final ring
+        // stamp lands a hair after the `write` phase closes.
+        if (e2e - attributed).abs() > (e2e * 0.05).max(500.0) {
+            tiling_violations += 1;
+        }
+    }
+    if tiled_count == 0 {
+        ratio_min = 0.0;
+        ratio_max = 0.0;
+        trace_failures.push("no 200-status score traces reached the ring".to_string());
+    }
+    if tiling_violations > 0 {
+        trace_failures.push(format!(
+            "{tiling_violations}/{tiled_count} traces' phases do not sum to their \
+             end-to-end latency (attributed/e2e range {ratio_min:.3}..{ratio_max:.3})"
+        ));
+    }
+    info!(
+        "trace attribution: {tiled_count} scored traces, attributed/e2e \
+         {ratio_min:.3}..{ratio_max:.3}"
+    );
+    for line in astro_trace::render_phase_table(&report.traces).lines() {
+        info!("gateway_load: {line}");
+    }
+
+    // Chrome Trace Event export must survive its own validation.
+    let chrome = astro_trace::chrome_trace_json(&report.traces);
+    let chrome_events = match astro_trace::validate_chrome_json(&chrome, &report.traces) {
+        Ok(n) => {
+            if let Err(e) = std::fs::write("trace_chrome.json", &chrome) {
+                info!("trace_chrome.json not written: {e}");
+            }
+            n
+        }
+        Err(e) => {
+            trace_failures.push(format!("chrome export: {e}"));
+            0
+        }
+    };
+
+    // Tracing overhead: the cost of one full trace lifecycle (mint,
+    // start, every phase, finish → sampling/ring/sink) measured alone,
+    // as a fraction of the mean request latency it rides on.
+    const LIFECYCLE_PHASES: [&str; 10] = [
+        "recv", "build", "queue_wait", "batch_form", "cache_lookup", "prefill", "decode", "sync",
+        "extract", "write",
+    ];
+    let lifecycle_runs = 2000u32;
+    let t_overhead = Instant::now();
+    for _ in 0..lifecycle_runs {
+        let id = trace::mint();
+        trace::start(id, "bench.overhead", None, astro_telemetry::elapsed_us());
+        for name in LIFECYCLE_PHASES {
+            trace::phase_since_last(id, name);
+        }
+        trace::finish(id, 200);
+    }
+    let trace_lifecycle_us =
+        t_overhead.elapsed().as_secs_f64() * 1e6 / f64::from(lifecycle_runs);
+    let mean_latency_us = latency.as_ref().map(|h| h.mean).unwrap_or(f64::NAN);
+    let trace_overhead_pct = 100.0 * trace_lifecycle_us / mean_latency_us;
+    info!(
+        "tracing overhead: {trace_lifecycle_us:.2}µs per request lifecycle = \
+         {trace_overhead_pct:.3}% of mean request latency ({mean_latency_us:.0}µs)"
+    );
+    // NaN must fail too, hence not a plain `>= 2.0`.
+    if trace_overhead_pct >= 2.0 || trace_overhead_pct.is_nan() {
+        trace_failures.push(format!(
+            "tracing overhead {trace_overhead_pct:.3}% exceeds the 2% budget"
+        ));
+    }
+
+    let phase_stats = astro_trace::phase_stats(&report.traces);
+    let mut phases_json = String::from("{");
+    for (i, s) in phase_stats.iter().enumerate() {
+        if i > 0 {
+            phases_json.push(',');
+        }
+        phases_json.push_str(&format!(
+            "\"{}\":{{\"count\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"max_us\":{},\"total_us\":{}}}",
+            s.name, s.count, s.p50_us, s.p95_us, s.p99_us, s.max_us, s.total_us
+        ));
+    }
+    phases_json.push('}');
 
     // Phase 3: admission control on a deliberately strict gateway.
     let strict_config = GatewayConfig {
@@ -372,6 +498,14 @@ fn main() {
             "latency_p99_us",
             latency.as_ref().map(|h| h.p99).unwrap_or(f64::NAN),
         )
+        .num("traces_recorded", traces_recorded as f64)
+        .num("trace_jsonl_written", written as f64)
+        .num("chrome_events", chrome_events as f64)
+        .num("phase_sum_ratio_min", ratio_min)
+        .num("phase_sum_ratio_max", ratio_max)
+        .num("trace_lifecycle_us", trace_lifecycle_us)
+        .num("trace_overhead_pct", trace_overhead_pct)
+        .raw("phases", &phases_json)
         .num("rate_limited_429", rate_limited_429 as f64)
         .num("oversized_413", oversized_413 as f64)
         .num("backpressure_503", burst_503 as f64)
@@ -389,6 +523,8 @@ fn main() {
         Err(e) => info!("BENCH_gateway.json not written: {e}"),
     }
     run.add("speedup", &format!("{speedup:.2}"));
+    run.add("traces_jsonl", "traces.jsonl");
+    run.add("trace_chrome", "trace_chrome.json");
     run.finish();
 
     // Contract checks last, so the JSON and manifest always land for
@@ -417,6 +553,7 @@ fn main() {
              strict={strict_stats:?} midburst={drain_stats:?}"
         ));
     }
+    failures.extend(trace_failures);
     if !failures.is_empty() {
         for f in &failures {
             info!("gateway_load: FAIL: {f}");

@@ -124,6 +124,7 @@ pub fn generate_job(
         sampler: config.sampler,
         rng,
         stop: vec![model.tokenizer.special("<|end|>"), model.tokenizer.eos()],
+        trace: None,
     }
 }
 

@@ -254,6 +254,7 @@ pub fn score_job(
         prompt: prompt_tokens(model, question, exemplars, config),
         group: Some(question.article as u64),
         readout,
+        trace: None,
     }
 }
 

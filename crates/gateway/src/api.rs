@@ -16,6 +16,7 @@ use astro_eval::ExtractionStage;
 use astro_mcq::Mcq;
 use astro_telemetry::event::write_json_string;
 use astro_telemetry::metrics::MetricsSnapshot;
+use astro_telemetry::trace::TraceRecord;
 use astro_world::FactTier;
 
 /// One `/v1/score` request: score a four-option question with the token
@@ -257,10 +258,104 @@ pub fn metrics_body(snap: &MetricsSnapshot) -> String {
             out.push_str(&format!(",\"{key}\":"));
             push_f64(&mut out, v);
         }
+        if let Some(ex) = &h.exemplar {
+            out.push_str(",\"exemplar\":");
+            write_json_string(&mut out, ex);
+        }
         out.push('}');
     }
     out.push_str("}}");
     out
+}
+
+/// A metric name in Prometheus's grammar: `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+/// The registry uses dotted names (`gateway.request_us`); everything
+/// outside the grammar becomes `_`.
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    out
+}
+
+fn push_prom_f64(out: &mut String, v: f64) {
+    if v.is_nan() {
+        out.push_str("NaN");
+    } else if v == f64::INFINITY {
+        out.push_str("+Inf");
+    } else if v == f64::NEG_INFINITY {
+        out.push_str("-Inf");
+    } else {
+        out.push_str(&format!("{v}"));
+    }
+}
+
+/// Render the registry snapshot in the Prometheus text exposition format
+/// (version 0.0.4): counters and gauges as single samples, histograms as
+/// summaries with `quantile` labels plus `_count`/`_sum` series, and the
+/// max-latency trace exemplar as a comment line analyzers can follow back
+/// into the trace ring.
+pub fn prometheus_body(snap: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(2048);
+    for (name, v) in &snap.counters {
+        let pn = prometheus_name(name);
+        out.push_str(&format!("# TYPE {pn} counter\n{pn} {v}\n"));
+    }
+    for (name, v) in &snap.gauges {
+        let pn = prometheus_name(name);
+        out.push_str(&format!("# TYPE {pn} gauge\n{pn} {v}\n"));
+    }
+    for (name, h) in &snap.histograms {
+        if h.count == 0 {
+            continue;
+        }
+        let pn = prometheus_name(name);
+        out.push_str(&format!("# TYPE {pn} summary\n"));
+        for (q, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
+            out.push_str(&format!("{pn}{{quantile=\"{q}\"}} "));
+            push_prom_f64(&mut out, v);
+            out.push('\n');
+        }
+        out.push_str(&format!("{pn}_sum "));
+        push_prom_f64(&mut out, h.mean * h.count as f64);
+        out.push('\n');
+        out.push_str(&format!("{pn}_count {}\n", h.count));
+        if let Some(ex) = &h.exemplar {
+            out.push_str(&format!("# EXEMPLAR {pn} trace_id={ex}\n"));
+        }
+    }
+    out
+}
+
+/// Render the trace block embedded in success bodies: id, per-phase
+/// microsecond attribution in recording order, and span links.
+pub fn trace_object(rec: &TraceRecord) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"id\":\"");
+    out.push_str(&rec.id.to_hex());
+    out.push_str("\",\"phases\":{");
+    for (i, p) in rec.phases.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_json_string(&mut out, p.name);
+        out.push(':');
+        out.push_str(&p.duration_us().to_string());
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Splice `,"trace":{...}` into a complete JSON-object body, just before
+/// the closing brace. Callers pass the in-flight trace snapshot taken
+/// after the last pre-write phase was recorded.
+pub fn body_with_trace(body: &str, rec: &TraceRecord) -> String {
+    let Some(stripped) = body.strip_suffix('}') else {
+        return body.to_string();
+    };
+    format!("{stripped},\"trace\":{}}}", trace_object(rec))
 }
 
 #[cfg(test)]
@@ -361,5 +456,74 @@ mod tests {
         let v = Json::parse(&metrics_body(&snap)).unwrap();
         assert!(v.get("counters").is_some());
         assert!(v.get("histograms").is_some());
+    }
+
+    #[test]
+    fn metrics_body_carries_histogram_exemplars() {
+        astro_telemetry::metrics::histogram("gateway.test.exemplar")
+            .observe_with_exemplar(7.0, 0xabcd);
+        let snap = astro_telemetry::metrics::snapshot();
+        let body = metrics_body(&snap);
+        let v = Json::parse(&body).unwrap();
+        let ex = v
+            .get("histograms")
+            .and_then(|h| h.get("gateway.test.exemplar"))
+            .and_then(|h| h.get("exemplar"))
+            .and_then(Json::as_str)
+            .expect("exemplar field present");
+        assert_eq!(ex, "0000000000000000000000000000abcd");
+    }
+
+    #[test]
+    fn prometheus_name_sanitizes_to_the_grammar() {
+        assert_eq!(prometheus_name("gateway.request_us"), "gateway_request_us");
+        assert_eq!(prometheus_name("gateway.endpoint./v1/score.us"), "gateway_endpoint__v1_score_us");
+        assert_eq!(prometheus_name("9lives"), "_lives");
+    }
+
+    #[test]
+    fn prometheus_body_renders_all_metric_kinds() {
+        astro_telemetry::metrics::counter("gateway.test.prom_counter").add(3);
+        astro_telemetry::metrics::gauge("gateway.test.prom_gauge").set(-2);
+        let h = astro_telemetry::metrics::histogram("gateway.test.prom_hist");
+        h.observe(10.0);
+        h.observe_with_exemplar(30.0, 0xfeed);
+        let body = prometheus_body(&astro_telemetry::metrics::snapshot());
+        assert!(body.contains("# TYPE gateway_test_prom_counter counter\n"), "{body}");
+        assert!(body.contains("gateway_test_prom_counter 3\n"), "{body}");
+        assert!(body.contains("# TYPE gateway_test_prom_gauge gauge\n"), "{body}");
+        assert!(body.contains("gateway_test_prom_gauge -2\n"), "{body}");
+        assert!(body.contains("# TYPE gateway_test_prom_hist summary\n"), "{body}");
+        assert!(body.contains("gateway_test_prom_hist{quantile=\"0.5\"}"), "{body}");
+        assert!(body.contains("gateway_test_prom_hist{quantile=\"0.99\"}"), "{body}");
+        assert!(body.contains("gateway_test_prom_hist_sum 40\n"), "{body}");
+        assert!(body.contains("gateway_test_prom_hist_count 2\n"), "{body}");
+        assert!(
+            body.contains("# EXEMPLAR gateway_test_prom_hist trace_id=000000000000000000000000000"),
+            "{body}"
+        );
+    }
+
+    #[test]
+    fn trace_block_splices_into_success_bodies() {
+        use astro_telemetry::trace::{self, TraceId};
+        let id = TraceId(0x5005_0001);
+        assert!(trace::start(id, "gateway./v1/score", None, 100));
+        trace::phase(id, "recv", 100, 140);
+        trace::phase(id, "queue_wait", 140, 200);
+        let rec = trace::inflight_snapshot(id).unwrap();
+        let body = body_with_trace(&score_body(&[0.0, 1.0, 2.0, 3.0], 3), &rec);
+        let v = Json::parse(&body).unwrap();
+        let t = v.get("trace").expect("trace block");
+        assert_eq!(
+            t.get("id").and_then(Json::as_str),
+            Some(id.to_hex().as_str())
+        );
+        let phases = t.get("phases").expect("phases object");
+        assert!(matches!(phases.get("recv"), Some(Json::Number(n)) if *n == 40.0));
+        assert!(matches!(phases.get("queue_wait"), Some(Json::Number(n)) if *n == 60.0));
+        // Original payload is intact next to the spliced block.
+        assert!(matches!(v.get("prediction"), Some(Json::Number(n)) if *n == 3.0));
+        trace::finish(id, 200);
     }
 }

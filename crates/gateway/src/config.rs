@@ -35,6 +35,14 @@ pub struct GatewayConfig {
     pub read_timeout: Duration,
     /// How long a graceful shutdown waits for in-flight connections.
     pub drain_timeout: Duration,
+    /// Finished-trace ring capacity (oldest evicted; memory bound).
+    pub trace_ring_capacity: usize,
+    /// Tail sampling: keep 1 in N unflagged traces (error/deadline/fault/
+    /// slowest-p1% traces are always kept; 1 = keep everything).
+    pub trace_sample_one_in: u64,
+    /// Span-registry capacity: closed spans past this are retired into
+    /// the trace ring instead of growing process memory without bound.
+    pub span_capacity: usize,
 }
 
 impl Default for GatewayConfig {
@@ -51,6 +59,9 @@ impl Default for GatewayConfig {
             max_body_bytes: 64 * 1024,
             read_timeout: Duration::from_secs(5),
             drain_timeout: Duration::from_secs(10),
+            trace_ring_capacity: 2048,
+            trace_sample_one_in: 1,
+            span_capacity: 8192,
         }
     }
 }
@@ -120,6 +131,23 @@ impl GatewayConfig {
                 self.drain_timeout, self.batch_window
             ));
         }
+        if self.trace_ring_capacity == 0 || self.trace_ring_capacity > 1 << 20 {
+            return Err(format!(
+                "trace_ring_capacity {} outside 1..=1048576",
+                self.trace_ring_capacity
+            ));
+        }
+        if self.trace_sample_one_in == 0 {
+            return Err("trace_sample_one_in must be at least 1 (1 = keep \
+                        every trace)"
+                .to_string());
+        }
+        if self.span_capacity < 16 || self.span_capacity > 1 << 20 {
+            return Err(format!(
+                "span_capacity {} outside 16..=1048576",
+                self.span_capacity
+            ));
+        }
         self.engine.validate().map_err(|e| format!("engine: {e}"))
     }
 }
@@ -148,6 +176,9 @@ mod tests {
             (Box::new(|c| c.max_body_bytes = 0), "max_body_bytes"),
             (Box::new(|c| c.read_timeout = Duration::ZERO), "read_timeout"),
             (Box::new(|c| c.drain_timeout = Duration::ZERO), "drain_timeout"),
+            (Box::new(|c| c.trace_ring_capacity = 0), "trace_ring_capacity"),
+            (Box::new(|c| c.trace_sample_one_in = 0), "trace_sample_one_in"),
+            (Box::new(|c| c.span_capacity = 8), "span_capacity"),
             (
                 Box::new(|c| c.engine.parallelism = astro_serve::MAX_PARALLELISM + 1),
                 "engine",

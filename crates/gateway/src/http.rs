@@ -15,8 +15,10 @@ pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 pub struct Request {
     /// Request method (`GET`, `POST`, …), as sent.
     pub method: String,
-    /// Request target, e.g. `/v1/score`.
+    /// Request target path, e.g. `/v1/score` (query string split off).
     pub path: String,
+    /// Raw query string after `?`, empty when absent.
+    pub query: String,
     /// Header name/value pairs in arrival order; names not normalised.
     pub headers: Vec<(String, String)>,
     /// Raw body bytes (`Content-Length` long; empty when absent).
@@ -30,6 +32,15 @@ impl Request {
             .iter()
             .find(|(k, _)| k.eq_ignore_ascii_case(name))
             .map(|(_, v)| v.as_str())
+    }
+
+    /// True when the query string contains `key=value` as one exact
+    /// `&`-separated pair (no percent-decoding — the gateway's query
+    /// vocabulary is fixed tokens like `format=prometheus`).
+    pub fn query_param_is(&self, key: &str, value: &str) -> bool {
+        self.query
+            .split('&')
+            .any(|pair| pair.split_once('=') == Some((key, value)))
     }
 }
 
@@ -136,9 +147,14 @@ pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, 
         headers.push((name.trim().to_string(), value.trim().to_string()));
     }
 
+    let (path, query) = match path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (path, ""),
+    };
     let req = Request {
         method: method.to_string(),
         path: path.to_string(),
+        query: query.to_string(),
         headers,
         body: Vec::new(),
     };
@@ -189,17 +205,20 @@ pub fn status_reason(code: u16) -> &'static str {
     }
 }
 
-/// Write one complete JSON response (`Connection: close`) and flush.
+/// Write one complete response (`Connection: close`) and flush.
 /// `extra_headers` are appended verbatim (e.g. `("Retry-After", "2")`).
+/// `content_type` is usually `application/json`; the Prometheus
+/// exposition endpoint uses `text/plain; version=0.0.4`.
 pub fn write_response(
     stream: &mut impl Write,
     status: u16,
+    content_type: &str,
     extra_headers: &[(&str, &str)],
     body: &str,
 ) -> std::io::Result<()> {
     let mut out = String::with_capacity(128 + body.len());
     out.push_str(&format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
         status_reason(status),
         body.len()
     ));
@@ -236,6 +255,18 @@ mod tests {
         let req = parse(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
         assert_eq!(req.method, "GET");
         assert!(req.body.is_empty());
+        assert!(req.query.is_empty());
+    }
+
+    #[test]
+    fn splits_query_string_off_the_path() {
+        let req = parse(b"GET /metricsz?format=prometheus&x=1 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/metricsz");
+        assert_eq!(req.query, "format=prometheus&x=1");
+        assert!(req.query_param_is("format", "prometheus"));
+        assert!(req.query_param_is("x", "1"));
+        assert!(!req.query_param_is("format", "json"));
+        assert!(!req.query_param_is("missing", "1"));
     }
 
     #[test]
@@ -290,9 +321,17 @@ mod tests {
     #[test]
     fn response_has_content_length_and_close() {
         let mut out = Vec::new();
-        write_response(&mut out, 429, &[("Retry-After", "2")], "{\"e\":1}").unwrap();
+        write_response(
+            &mut out,
+            429,
+            "application/json",
+            &[("Retry-After", "2")],
+            "{\"e\":1}",
+        )
+        .unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"), "{text}");
+        assert!(text.contains("Content-Type: application/json\r\n"));
         assert!(text.contains("Content-Length: 7\r\n"));
         assert!(text.contains("Retry-After: 2\r\n"));
         assert!(text.contains("Connection: close\r\n"));

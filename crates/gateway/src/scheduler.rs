@@ -16,7 +16,8 @@
 use crate::queue::{BoundedQueue, Pop};
 use astro_eval::{extract_answer, ExtractionStage};
 use astro_serve::{EvalEngine, GenerateJob, ScoreJob};
-use astro_telemetry::{metrics, span};
+use astro_telemetry::trace::{self, TraceId};
+use astro_telemetry::{metrics, span, TraceContext};
 use astro_tokenizer::Tokenizer;
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -45,6 +46,11 @@ pub struct Pending {
     pub deadline: Instant,
     /// When the request entered the queue (queue-wait histogram).
     pub enqueued: Instant,
+    /// The request's trace, if the handler started one. The scheduler
+    /// records the `queue_wait`/`batch_form`/`sync`/`extract` phases and
+    /// threads the context into the engine job for the worker-side
+    /// phases; the handler still owns `finish`.
+    pub trace: Option<TraceId>,
 }
 
 /// Result sent back to the connection handler.
@@ -89,6 +95,7 @@ pub fn run_scheduler(
             Pop::Closed => return,
             Pop::TimedOut => continue,
         };
+        note_popped(&first);
         let mut batch = vec![first];
         let window_end = Instant::now() + window;
         while batch.len() < max_batch {
@@ -97,7 +104,10 @@ pub fn run_scheduler(
                 break;
             }
             match queue.pop(Some(window_end - now)) {
-                Pop::Item(p) => batch.push(p),
+                Pop::Item(p) => {
+                    note_popped(&p);
+                    batch.push(p);
+                }
                 // Closed: dispatch what we have; the next outer pop
                 // observes Closed-and-empty and exits the loop.
                 Pop::TimedOut | Pop::Closed => break,
@@ -105,6 +115,14 @@ pub fn run_scheduler(
         }
         dispatch_batch(&engine, &tokenizer, batch);
         metrics::gauge("gateway.queue_depth").set(queue.depth() as i64);
+    }
+}
+
+/// Close the request's `queue_wait` phase the moment it leaves the queue;
+/// `batch_form` then runs from here until the batch dispatches.
+fn note_popped(p: &Pending) {
+    if let Some(t) = p.trace {
+        trace::phase_since_last(t, "queue_wait");
     }
 }
 
@@ -124,24 +142,55 @@ fn dispatch_batch(engine: &EvalEngine, tokenizer: &Tokenizer, batch: Vec<Pending
         batch.into_iter().partition(|p| now < p.deadline);
     for p in expired {
         metrics::counter("gateway.expired").add(1);
+        if let Some(t) = p.trace {
+            trace::mark_deadline(t);
+            trace::phase_since_last(t, "batch_form");
+        }
         let _ = p.reply.send(Reply::Expired);
     }
 
-    let mut score_items = Vec::new();
+    // Close each member's `batch_form` phase and wire the cross-thread
+    // causality edge both ways: the batch span records every member trace
+    // it carries, and every member trace records the batch span, so the
+    // analyzer can reconstruct which requests shared one engine dispatch.
+    let parent = span.id();
+    let mut score_items: Vec<(ScoreJob, mpsc::Sender<Reply>, Option<TraceId>)> = Vec::new();
     let mut generate_items = Vec::new();
     for p in live {
+        let ctx = p.trace.map(|t| {
+            trace::phase_since_last(t, "batch_form");
+            trace::link(t, "gateway.batch", parent);
+            span.link_trace(t.0);
+            TraceContext {
+                trace: t,
+                parent_span: Some(parent),
+            }
+        });
         match p.work {
-            Work::Score(job) => score_items.push((job, p.reply)),
-            Work::Generate { job, options } => generate_items.push((job, options, p.reply)),
+            Work::Score(mut job) => {
+                job.trace = ctx;
+                score_items.push((job, p.reply, p.trace));
+            }
+            Work::Generate { mut job, options } => {
+                job.trace = ctx;
+                generate_items.push((job, options, p.reply, p.trace));
+            }
         }
     }
     span.record_f64("score_jobs", score_items.len() as f64);
     span.record_f64("generate_jobs", generate_items.len() as f64);
 
     if !score_items.is_empty() {
-        let (jobs, replies): (Vec<ScoreJob>, Vec<mpsc::Sender<Reply>>) =
-            score_items.into_iter().unzip();
-        for (result, reply) in engine.score_batch(jobs).into_iter().zip(replies) {
+        let mut jobs = Vec::with_capacity(score_items.len());
+        let mut rest = Vec::with_capacity(score_items.len());
+        for (job, reply, t) in score_items {
+            jobs.push(job);
+            rest.push((reply, t));
+        }
+        for (result, (reply, t)) in engine.score_batch(jobs).into_iter().zip(rest) {
+            if let Some(t) = t {
+                trace::phase_since_last(t, "sync");
+            }
             let msg = match result {
                 Ok(s) => {
                     let mut scores = [f32::NEG_INFINITY; 4];
@@ -161,6 +210,9 @@ fn dispatch_batch(engine: &EvalEngine, tokenizer: &Tokenizer, batch: Vec<Pending
                 }
                 Err(e) => Reply::Error(e.to_string()),
             };
+            if let Some(t) = t {
+                trace::phase_since_last(t, "extract");
+            }
             // A handler that already timed out has dropped its receiver;
             // that is its problem, not the scheduler's.
             let _ = reply.send(msg);
@@ -170,11 +222,14 @@ fn dispatch_batch(engine: &EvalEngine, tokenizer: &Tokenizer, batch: Vec<Pending
     if !generate_items.is_empty() {
         let mut jobs = Vec::with_capacity(generate_items.len());
         let mut rest = Vec::with_capacity(generate_items.len());
-        for (job, options, reply) in generate_items {
+        for (job, options, reply, t) in generate_items {
             jobs.push(job);
-            rest.push((options, reply));
+            rest.push((options, reply, t));
         }
-        for (result, (options, reply)) in engine.generate_batch(jobs).into_iter().zip(rest) {
+        for (result, (options, reply, t)) in engine.generate_batch(jobs).into_iter().zip(rest) {
+            if let Some(t) = t {
+                trace::phase_since_last(t, "sync");
+            }
             let msg = match result {
                 Ok(tokens) => {
                     let raw = tokenizer.decode(&tokens);
@@ -187,6 +242,9 @@ fn dispatch_batch(engine: &EvalEngine, tokenizer: &Tokenizer, batch: Vec<Pending
                 }
                 Err(e) => Reply::Error(e.to_string()),
             };
+            if let Some(t) = t {
+                trace::phase_since_last(t, "extract");
+            }
             let _ = reply.send(msg);
         }
     }

@@ -23,7 +23,8 @@ use astro_model::Params;
 use astro_prng::Rng;
 use astro_resilience::fault;
 use astro_serve::EvalEngine;
-use astro_telemetry::{metrics, span};
+use astro_telemetry::trace::{self, TraceConfig, TraceId};
+use astro_telemetry::{metrics, span, span::SpanGuard};
 use astro_tokenizer::Tokenizer;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -119,6 +120,16 @@ impl Gateway {
         let addr = listener
             .local_addr()
             .map_err(|e| GatewayError::Bind(e.to_string()))?;
+
+        // Install the observability bounds before the first request can
+        // race them: the trace ring, tail-sampling rate, and the span
+        // registry's retirement cap all come from the gateway config.
+        trace::configure(TraceConfig {
+            ring_capacity: config.trace_ring_capacity,
+            sample_one_in: config.trace_sample_one_in,
+            ..TraceConfig::default()
+        });
+        span::set_capacity(config.span_capacity);
 
         let engine = Arc::new(EvalEngine::new(config.engine, &state.params));
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
@@ -248,8 +259,13 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         if fault::should_fault("gateway.accept_fail") {
             // Injected accept failure: the connection is dropped before a
             // handler exists. The client sees a reset and may retry; the
-            // server keeps serving.
+            // server keeps serving. The dropped connection still leaves a
+            // fault-marked trace (status 0) so the fault is attributable.
             metrics::counter("gateway.accept_fail").add(1);
+            let tid = trace::mint();
+            trace::start(tid, "gateway.reject", None, astro_telemetry::elapsed_us());
+            trace::mark_fault(tid, "gateway.accept_fail");
+            trace::finish(tid, 0);
             drop(stream);
             continue;
         }
@@ -267,9 +283,14 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     }
 }
 
+const CT_JSON: &str = "application/json";
+/// Prometheus text exposition content type (satellite of `/metricsz`).
+const CT_PROMETHEUS: &str = "text/plain; version=0.0.4";
+
 struct HttpReply {
     status: u16,
     retry_after: Option<u64>,
+    content_type: &'static str,
     body: String,
 }
 
@@ -278,6 +299,16 @@ impl HttpReply {
         HttpReply {
             status: 200,
             retry_after: None,
+            content_type: CT_JSON,
+            body,
+        }
+    }
+
+    fn ok_prometheus(body: String) -> HttpReply {
+        HttpReply {
+            status: 200,
+            retry_after: None,
+            content_type: CT_PROMETHEUS,
             body,
         }
     }
@@ -286,6 +317,7 @@ impl HttpReply {
         HttpReply {
             status,
             retry_after: None,
+            content_type: CT_JSON,
             body: api::error_body(message),
         }
     }
@@ -294,13 +326,59 @@ impl HttpReply {
         HttpReply {
             status,
             retry_after: Some(after),
+            content_type: CT_JSON,
             body: api::error_body(message),
         }
     }
 }
 
-/// Handle one connection: parse, route, answer, close.
+/// Start the trace for a request that never parsed: minted id, no remote
+/// parent, `recv` phase covering everything read so far.
+fn start_reject_trace(t_conn: u64) -> TraceId {
+    let tid = trace::mint();
+    trace::start(tid, "gateway.reject", None, t_conn);
+    trace::phase(tid, "recv", t_conn, astro_telemetry::elapsed_us());
+    tid
+}
+
+/// Start (or adopt, via W3C `traceparent`) the trace for a parsed
+/// request. A replayed traceparent whose id is already in flight gets a
+/// fresh minted id — ids are one-shot here.
+fn start_request_trace(req: &Request, t_conn: u64, span: &SpanGuard) -> TraceId {
+    let (mut tid, remote_parent) = match req.header("traceparent").and_then(trace::parse_traceparent)
+    {
+        Some((t, p)) => (t, Some(p)),
+        None => (trace::mint(), None),
+    };
+    let name = format!("gateway.{}", req.path);
+    if !trace::start(tid, &name, remote_parent, t_conn) {
+        tid = trace::mint();
+        trace::start(tid, &name, remote_parent, t_conn);
+    }
+    span.set_trace(tid.0);
+    trace::phase(tid, "recv", t_conn, astro_telemetry::elapsed_us());
+    tid
+}
+
+/// The fixed endpoint set that gets per-endpoint latency histograms —
+/// arbitrary 404 paths must not mint unbounded metric names.
+fn endpoint_histogram_name(path: &str) -> Option<&'static str> {
+    match path {
+        "/healthz" => Some("gateway.endpoint./healthz.us"),
+        "/metricsz" => Some("gateway.endpoint./metricsz.us"),
+        "/v1/score" => Some("gateway.endpoint./v1/score.us"),
+        "/v1/generate" => Some("gateway.endpoint./v1/generate.us"),
+        _ => None,
+    }
+}
+
+/// Handle one connection: parse, route, answer, close. Every request
+/// that reaches this handler leaves exactly one finished trace: its
+/// `recv` phase anchors at connection accept, the trace closes after the
+/// response bytes are written (`write` phase), and the final HTTP status
+/// becomes the trace status.
 fn serve_connection(shared: &Shared, mut stream: TcpStream) {
+    let t_conn = astro_telemetry::elapsed_us();
     let span = span!("gateway.request");
     let t0 = Instant::now();
     metrics::counter("gateway.connections").add(1);
@@ -309,48 +387,86 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
         // Injected slow client: treat the connection as having stalled
         // mid-request and answer exactly like a real read timeout.
         metrics::counter("gateway.slow_client").add(1);
+        let tid = start_reject_trace(t_conn);
+        trace::mark_fault(tid, "gateway.slow_client");
         let reply = HttpReply::error(408, "request read timed out");
-        write_reply(&mut stream, &reply, true);
+        let header = trace::format_traceparent(tid, span.id() as u64);
+        write_reply(&mut stream, &reply, true, Some(&header));
+        trace::phase_since_last(tid, "write");
+        trace::finish(tid, reply.status);
         return;
     }
     let peer = match stream.peer_addr() {
         Ok(a) => a.ip().to_string(),
         Err(_) => "unknown".to_string(),
     };
-    let (reply, request_fully_read) =
+    let (mut reply, request_fully_read, tid) =
         match http::read_request(&mut stream, shared.config.max_body_bytes) {
-            Ok(req) => (route(shared, &req, &peer), true),
-            Err(HttpError::BadRequest(m)) => (HttpReply::error(400, &m), false),
+            Ok(req) => {
+                let tid = start_request_trace(&req, t_conn, &span);
+                let reply = route(shared, &req, &peer, tid);
+                if let Some(name) = endpoint_histogram_name(&req.path) {
+                    metrics::histogram(name).observe(t0.elapsed().as_micros() as f64);
+                }
+                (reply, true, tid)
+            }
+            Err(HttpError::BadRequest(m)) => {
+                (HttpReply::error(400, &m), false, start_reject_trace(t_conn))
+            }
             Err(HttpError::PayloadTooLarge { declared, limit }) => {
                 metrics::counter("gateway.oversized").add(1);
                 (
                     HttpReply::error(413, &format!("body of {declared} bytes exceeds {limit}")),
                     false,
+                    start_reject_trace(t_conn),
                 )
             }
-            Err(HttpError::Timeout) => {
-                (HttpReply::error(408, "request read timed out"), false)
-            }
+            Err(HttpError::Timeout) => (
+                HttpReply::error(408, "request read timed out"),
+                false,
+                start_reject_trace(t_conn),
+            ),
             // Peer vanished before sending a request; nothing to answer.
             Err(HttpError::ConnectionClosed) | Err(HttpError::Io(_)) => return,
         };
+    // Successful JSON responses carry their own phase breakdown (the
+    // snapshot runs before the `write` phase, so `write` appears only in
+    // the sink/ring record, never the body).
+    if reply.status == 200 && reply.content_type == CT_JSON {
+        if let Some(rec) = trace::inflight_snapshot(tid) {
+            reply.body = api::body_with_trace(&reply.body, &rec);
+        }
+    }
     span.record_f64("status", f64::from(reply.status));
     metrics::histogram("gateway.request_us").observe(t0.elapsed().as_micros() as f64);
-    write_reply(&mut stream, &reply, !request_fully_read);
+    let header = trace::format_traceparent(tid, span.id() as u64);
+    write_reply(&mut stream, &reply, !request_fully_read, Some(&header));
+    trace::phase_since_last(tid, "write");
+    trace::finish(tid, reply.status);
 }
 
 /// Write a response. When the request was *not* fully consumed (early
 /// rejection), half-close and drain the leftover bytes first — closing a
 /// socket with unread data makes the kernel send RST, which would
 /// destroy the very response we just queued.
-fn write_reply(stream: &mut TcpStream, reply: &HttpReply, drain_unread: bool) {
+fn write_reply(
+    stream: &mut TcpStream,
+    reply: &HttpReply,
+    drain_unread: bool,
+    traceparent: Option<&str>,
+) {
     let retry_value;
     let mut headers: Vec<(&str, &str)> = Vec::new();
     if let Some(after) = reply.retry_after {
         retry_value = after.to_string();
         headers.push(("Retry-After", &retry_value));
     }
-    if http::write_response(stream, reply.status, &headers, &reply.body).is_err() {
+    if let Some(tp) = traceparent {
+        headers.push(("traceparent", tp));
+    }
+    if http::write_response(stream, reply.status, reply.content_type, &headers, &reply.body)
+        .is_err()
+    {
         return;
     }
     if !drain_unread {
@@ -368,15 +484,21 @@ fn write_reply(stream: &mut TcpStream, reply: &HttpReply, drain_unread: bool) {
     }
 }
 
-fn route(shared: &Shared, req: &Request, peer: &str) -> HttpReply {
+fn route(shared: &Shared, req: &Request, peer: &str, tid: TraceId) -> HttpReply {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => HttpReply::ok(api::health_body(
             shared.draining.load(Ordering::SeqCst),
             shared.queue.depth(),
         )),
-        ("GET", "/metricsz") => HttpReply::ok(api::metrics_body(&metrics::snapshot())),
-        ("POST", "/v1/score") => handle_score(shared, req, peer),
-        ("POST", "/v1/generate") => handle_generate(shared, req, peer),
+        ("GET", "/metricsz") => {
+            if req.query_param_is("format", "prometheus") {
+                HttpReply::ok_prometheus(api::prometheus_body(&metrics::snapshot()))
+            } else {
+                HttpReply::ok(api::metrics_body(&metrics::snapshot()))
+            }
+        }
+        ("POST", "/v1/score") => handle_score(shared, req, peer, tid),
+        ("POST", "/v1/generate") => handle_generate(shared, req, peer, tid),
         (_, "/healthz" | "/metricsz" | "/v1/score" | "/v1/generate") => {
             HttpReply::error(405, &format!("method {} not allowed here", req.method))
         }
@@ -389,7 +511,7 @@ fn body_utf8(req: &Request) -> Result<&str, HttpReply> {
         .map_err(|_| HttpReply::error(400, "request body is not UTF-8"))
 }
 
-fn handle_score(shared: &Shared, req: &Request, peer: &str) -> HttpReply {
+fn handle_score(shared: &Shared, req: &Request, peer: &str, tid: TraceId) -> HttpReply {
     let body = match body_utf8(req) {
         Ok(b) => b,
         Err(reply) => return reply,
@@ -405,10 +527,10 @@ fn handle_score(shared: &Shared, req: &Request, peer: &str) -> HttpReply {
     let mcq = api::mcq_from_request(&parsed.question, &parsed.options, parsed.group);
     let job = score_job(&model, &mcq, &shared.state.exemplars, &shared.state.token_config);
     let client = parsed.client.as_deref().unwrap_or(peer).to_string();
-    admit_and_run(shared, Work::Score(job), &client)
+    admit_and_run(shared, Work::Score(job), &client, tid)
 }
 
-fn handle_generate(shared: &Shared, req: &Request, peer: &str) -> HttpReply {
+fn handle_generate(shared: &Shared, req: &Request, peer: &str, tid: TraceId) -> HttpReply {
     let body = match body_utf8(req) {
         Ok(b) => b,
         Err(reply) => return reply,
@@ -436,11 +558,16 @@ fn handle_generate(shared: &Shared, req: &Request, peer: &str) -> HttpReply {
             options: parsed.options,
         },
         &client,
+        tid,
     )
 }
 
 /// Admission gauntlet, queue push, and the wait for a scheduler reply.
-fn admit_and_run(shared: &Shared, work: Work, client: &str) -> HttpReply {
+/// The `build` phase (body parse + prompt/tokenizer work in the handler)
+/// closes here, just before the queue push, so `queue_wait` starts at
+/// the enqueue instant.
+fn admit_and_run(shared: &Shared, work: Work, client: &str, tid: TraceId) -> HttpReply {
+    trace::phase_since_last(tid, "build");
     if shared.draining.load(Ordering::SeqCst) {
         return HttpReply::retry(503, 1, "server is draining");
     }
@@ -455,6 +582,7 @@ fn admit_and_run(shared: &Shared, work: Work, client: &str) -> HttpReply {
         reply: tx,
         deadline: now + shared.config.deadline,
         enqueued: now,
+        trace: Some(tid),
     };
     match shared.queue.try_push(pending) {
         Ok(depth) => metrics::gauge("gateway.queue_depth").set(depth as i64),
@@ -483,6 +611,7 @@ fn admit_and_run(shared: &Shared, work: Work, client: &str) -> HttpReply {
         }
         Err(mpsc::RecvTimeoutError::Timeout) => {
             metrics::counter("gateway.deadline_timeouts").add(1);
+            trace::mark_deadline(tid);
             HttpReply::error(504, "deadline expired waiting for the scheduler")
         }
         Err(mpsc::RecvTimeoutError::Disconnected) => {

@@ -29,7 +29,7 @@ use astro_model::{sample_logits, InferenceSession, ModelConfig, Params, SamplerC
 use astro_parallel::ThreadPool;
 use astro_prng::Rng;
 use astro_resilience::fault;
-use astro_telemetry::lockcheck;
+use astro_telemetry::{lockcheck, trace, TraceContext};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard};
@@ -90,6 +90,20 @@ pub struct ScoreJob {
     pub group: Option<u64>,
     /// The readout to apply after the prompt.
     pub readout: ScoreReadout,
+    /// Request trace to attribute engine phases to, if any (set by the
+    /// gateway via [`ScoreJob::with_trace`]; `None` costs nothing).
+    pub trace: Option<TraceContext>,
+}
+
+impl ScoreJob {
+    /// Attach a request trace context; the engine records `cache_lookup`,
+    /// `prefill` and `decode` phases against it and opens its worker span
+    /// as an explicit child of `ctx.parent_span`.
+    #[must_use]
+    pub fn with_trace(mut self, ctx: TraceContext) -> Self {
+        self.trace = Some(ctx);
+        self
+    }
 }
 
 /// One prompt to generate from. Like [`ScoreJob`], the prompt must be
@@ -109,6 +123,18 @@ pub struct GenerateJob {
     pub rng: Rng,
     /// Token ids that end generation without being emitted.
     pub stop: Vec<u32>,
+    /// Request trace to attribute engine phases to, if any (see
+    /// [`ScoreJob::trace`]).
+    pub trace: Option<TraceContext>,
+}
+
+impl GenerateJob {
+    /// Attach a request trace context (see [`ScoreJob::with_trace`]).
+    #[must_use]
+    pub fn with_trace(mut self, ctx: TraceContext) -> Self {
+        self.trace = Some(ctx);
+        self
+    }
 }
 
 /// Internal job representation so scoring and generation share one
@@ -130,6 +156,13 @@ impl Job {
         match self {
             Job::Score(j) => j.group,
             Job::Generate(j) => j.group,
+        }
+    }
+
+    fn trace(&self) -> Option<TraceContext> {
+        match self {
+            Job::Score(j) => j.trace,
+            Job::Generate(j) => j.trace,
         }
     }
 }
@@ -440,7 +473,25 @@ fn run_job(
 ) -> Result<Outcome, SessionError> {
     let prompt = job.prompt();
     assert!(!prompt.is_empty(), "engine jobs require a non-empty prompt");
+    let ctx = job.trace();
+    // The worker span claims the dispatching span (e.g. `gateway.batch`)
+    // as its explicit cross-thread parent, so the summary tree shows
+    // engine work under the batch that scheduled it.
+    let _worker_span = ctx.map(|c| {
+        let g = astro_telemetry::span::span_child_of("serve.job", c.parent_span, Vec::new());
+        g.set_trace(c.trace.0);
+        g
+    });
+    // `exec_wait`: dispatch → this worker picking the job up.
+    let t0 = match ctx {
+        Some(c) => trace::phase_since_last(c.trace, "exec_wait")
+            .unwrap_or_else(astro_telemetry::elapsed_us),
+        None => 0,
+    };
     if fault::should_fault("serve.cache_full") {
+        if let Some(c) = ctx {
+            trace::mark_fault(c.trace, "serve.cache_full");
+        }
         return Err(SessionError::CacheFull {
             pos: prompt.len(),
             max_seq: params.cfg.max_seq,
@@ -458,6 +509,12 @@ fn run_job(
             0
         }
     };
+    let t1 = astro_telemetry::elapsed_us();
+    if let Some(c) = ctx {
+        trace::phase(c.trace, "cache_lookup", t0, t1);
+        trace::annotate(c.trace, "cache", if depth > 0 { "hit" } else { "miss" });
+        trace::record_num(c.trace, "cached_tokens", depth as f64);
+    }
     let mut fed = depth;
 
     // Feed to the group-anchor boundary and snapshot it for the rest of
@@ -485,8 +542,13 @@ fn run_job(
         fed += 1;
     }
     astro_telemetry::counter("serve.tokens.encoded").add((prompt.len() - depth) as u64);
+    let t2 = astro_telemetry::elapsed_us();
+    if let Some(c) = ctx {
+        trace::phase(c.trace, "prefill", t1, t2);
+        trace::record_num(c.trace, "prompt_tokens", prompt.len() as f64);
+    }
 
-    match job {
+    let outcome = match job {
         Job::Score(j) => {
             let scores = match &j.readout {
                 ScoreReadout::ContinuationGroups(groups) => groups
@@ -511,7 +573,7 @@ fn run_job(
                         .collect()
                 }
             };
-            Ok(Outcome::Scores(scores))
+            Outcome::Scores(scores)
         }
         Job::Generate(j) => {
             let mut rng = j.rng.clone();
@@ -528,9 +590,16 @@ fn run_job(
                 generated.push(next);
                 logits = state.sess.feed(params, next).to_vec();
             }
-            Ok(Outcome::Tokens(generated))
+            Outcome::Tokens(generated)
+        }
+    };
+    if let Some(c) = ctx {
+        trace::phase(c.trace, "decode", t2, astro_telemetry::elapsed_us());
+        if let Outcome::Tokens(toks) = &outcome {
+            trace::record_num(c.trace, "generated_tokens", toks.len() as f64);
         }
     }
+    Ok(outcome)
 }
 
 /// Length-normalised log-likelihood of `continuation` from a fork of
@@ -604,6 +673,7 @@ mod tests {
                 prompt: p.to_vec(),
                 group: Some(p[0] as u64),
                 readout: ScoreReadout::ContinuationGroups(groups.to_vec()),
+                trace: None,
             })
             .collect()
     }
@@ -666,11 +736,13 @@ mod tests {
                 prompt: vec![9, 8, 7],
                 group: None,
                 readout: ScoreReadout::LogitGroups(vec![vec![1], vec![2], vec![3], vec![]]),
+                trace: None,
             },
             ScoreJob {
                 prompt: long,
                 group: None,
                 readout: ScoreReadout::LogitGroups(vec![vec![1]]),
+                trace: None,
             },
         ];
         let engine = EvalEngine::new(EngineConfig::pooled_with(2), &p);
@@ -718,6 +790,7 @@ mod tests {
             sampler: SamplerConfig::greedy(),
             rng: Rng::seed_from(2),
             stop: vec![0],
+            trace: None,
         };
         let engine = EvalEngine::new(EngineConfig::pooled_with(2), &p);
         let got = engine.generate_batch(vec![job.clone(), job]);

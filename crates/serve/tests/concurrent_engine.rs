@@ -47,6 +47,7 @@ fn score_jobs(rng: &mut Rng, n: usize, vocab: usize) -> Vec<ScoreJob> {
                 prompt,
                 group: Some((i % 3) as u64),
                 readout: ScoreReadout::ContinuationGroups(groups.clone()),
+                trace: None,
             }
         })
         .collect()
@@ -67,6 +68,7 @@ fn generate_jobs(rng: &mut Rng, n: usize, vocab: usize) -> Vec<GenerateJob> {
                 sampler: SamplerConfig::greedy(),
                 rng: Rng::seed_from(1000 + i as u64),
                 stop: vec![0],
+                trace: None,
             }
         })
         .collect()

@@ -46,7 +46,12 @@ pub const RANKS: &[LockRank] = &[
     LockRank { name: "parallel.pool.pending", rank: 12 },
     LockRank { name: "parallel.device.mailbox", rank: 14 },
     LockRank { name: "serve.prefix_cache", rank: 16 },
+    // The trace in-flight table and ring sit below the metrics registry
+    // and the sink: finishing a trace records histograms and emits a
+    // JSONL line, so "trace lock → metrics → sink" must be ascending.
+    LockRank { name: "telemetry.trace.inflight", rank: 17 },
     LockRank { name: "resilience.fault_plan", rank: 18 },
+    LockRank { name: "telemetry.trace.ring", rank: 19 },
     LockRank { name: "telemetry.metrics.registry", rank: 20 },
     LockRank { name: "telemetry.span.registry", rank: 22 },
     LockRank { name: "telemetry.sink", rank: 30 },

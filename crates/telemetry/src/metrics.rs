@@ -69,6 +69,16 @@ struct HistInner {
     sum_bits: AtomicU64,
     min_bits: AtomicU64,
     max_bits: AtomicU64,
+    /// Exemplar: the trace id that produced the largest observation seen
+    /// via [`Histogram::observe_with_exemplar`]. The winning observation
+    /// is tracked by `ex_max_bits`; the id is split across two atomics,
+    /// so two racing maxima can interleave halves — an accepted
+    /// best-effort trade for a lock-free hot path (exemplars are
+    /// diagnostic pointers, not accounting).
+    ex_max_bits: AtomicU64,
+    ex_hi: AtomicU64,
+    ex_lo: AtomicU64,
+    ex_set: AtomicU64,
 }
 
 /// A fixed-bucket histogram.
@@ -95,6 +105,10 @@ impl Histogram {
             sum_bits: AtomicU64::new(0.0f64.to_bits()),
             min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
             max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            ex_max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            ex_hi: AtomicU64::new(0),
+            ex_lo: AtomicU64::new(0),
+            ex_set: AtomicU64::new(0),
         }))
     }
 
@@ -110,6 +124,48 @@ impl Histogram {
         cas_f64(&h.sum_bits, |s| s + v);
         cas_f64(&h.min_bits, |m| m.min(v));
         cas_f64(&h.max_bits, |m| m.max(v));
+    }
+
+    /// Record one observation carrying a trace-id **exemplar**: if `v`
+    /// becomes the largest exemplared observation, the histogram
+    /// remembers `trace` so a p99 outlier in a metrics snapshot points
+    /// straight at a concrete trace in the ring.
+    pub fn observe_with_exemplar(&self, v: f64, trace: u128) {
+        self.observe(v);
+        if !v.is_finite() {
+            return;
+        }
+        let h = &*self.0;
+        let mut cur = h.ex_max_bits.load(Ordering::Relaxed);
+        loop {
+            if v < f64::from_bits(cur) {
+                return;
+            }
+            match h.ex_max_bits.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
+        h.ex_hi.store((trace >> 64) as u64, Ordering::Relaxed);
+        h.ex_lo.store(trace as u64, Ordering::Relaxed);
+        h.ex_set.store(1, Ordering::Relaxed);
+    }
+
+    /// The trace id attached to the largest exemplared observation, if
+    /// any observation came through [`Histogram::observe_with_exemplar`].
+    pub fn exemplar(&self) -> Option<u128> {
+        let h = &*self.0;
+        if h.ex_set.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        let hi = h.ex_hi.load(Ordering::Relaxed);
+        let lo = h.ex_lo.load(Ordering::Relaxed);
+        Some((u128::from(hi) << 64) | u128::from(lo))
     }
 
     /// Number of observations.
@@ -238,6 +294,8 @@ pub struct HistSummary {
     pub min: f64,
     /// Exact maximum.
     pub max: f64,
+    /// Hex trace id of the largest exemplared observation, if any.
+    pub exemplar: Option<String>,
 }
 
 /// Point-in-time snapshot of every registered metric.
@@ -271,6 +329,7 @@ pub fn snapshot() -> MetricsSnapshot {
                         p99: h.quantile(0.99),
                         min: h.min().unwrap_or(0.0),
                         max: h.max().unwrap_or(0.0),
+                        exemplar: h.exemplar().map(|t| format!("{t:032x}")),
                     },
                 )
             })
@@ -354,6 +413,25 @@ mod tests {
         h.observe(1_000_000.0); // 1 s in µs
         assert_eq!(h.count(), 2);
         assert!(h.quantile(1.0) >= 1_000_000.0);
+    }
+
+    #[test]
+    fn exemplar_tracks_the_max_observation() {
+        let h = histogram("test.metrics.exemplar");
+        assert_eq!(h.exemplar(), None);
+        h.observe(1e9); // plain observations never set an exemplar
+        assert_eq!(h.exemplar(), None);
+        h.observe_with_exemplar(10.0, 0xaaaa);
+        h.observe_with_exemplar(50.0, 0xbbbb);
+        h.observe_with_exemplar(20.0, 0xcccc); // smaller: does not displace
+        assert_eq!(h.exemplar(), Some(0xbbbb));
+        let snap = snapshot();
+        let (_, s) = snap
+            .histograms
+            .iter()
+            .find(|(k, _)| k == "test.metrics.exemplar")
+            .unwrap();
+        assert_eq!(s.exemplar.as_deref(), Some("0000000000000000000000000000bbbb"));
     }
 
     #[test]

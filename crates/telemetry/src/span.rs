@@ -1,26 +1,35 @@
-//! Hierarchical wall-clock spans with a thread-safe global registry.
+//! Hierarchical wall-clock spans with a thread-safe, **bounded** global
+//! registry.
 //!
 //! A span measures one stage of the pipeline (`study.cpt`,
 //! `eval.full_instruct`, …). Spans nest: each thread keeps a stack of open
 //! spans, and a new span's parent is whatever is on top of the creating
-//! thread's stack. Spans opened on worker threads therefore become roots —
-//! the registry is shared, the *nesting* is per thread, which is the
-//! honest structure for fork/join parallelism.
+//! thread's stack. Spans opened on worker threads therefore become roots
+//! there — unless opened with [`span_child_of`], which takes an
+//! **explicit parent** span id so cross-thread causality (a gateway batch
+//! dispatching engine work on a worker) survives in the tree.
 //!
 //! Closing a span (RAII drop) stamps its end time, emits a `span_end`
 //! event to the sink, and leaves the record in the registry for the
-//! end-of-run summary tree ([`crate::summary`]).
+//! end-of-run summary tree ([`crate::summary`]). The registry holds at
+//! most [`set_capacity`] records: once over capacity, the oldest *closed*
+//! spans retire into the bounded ring in [`crate::trace`]
+//! ([`crate::trace::retired_spans`]), so a long-running server does not
+//! leak span memory. Span ids are stable across retirement (they are
+//! allocation-ordered, not positional).
 
 use crate::event::Event;
 use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::sync::Mutex;
 
 /// One recorded span. `end_us` is `None` while the span is open.
 #[derive(Clone, Debug)]
 pub struct SpanRecord {
-    /// Registry index (also the span id).
+    /// Allocation-ordered span id (stable across registry retirement).
     pub id: usize,
-    /// Parent span id, if any (same-thread nesting only).
+    /// Parent span id, if any (same-thread nesting, or explicit via
+    /// [`span_child_of`]).
     pub parent: Option<usize>,
     /// Span name, e.g. `study.cpt`.
     pub name: String,
@@ -32,6 +41,11 @@ pub struct SpanRecord {
     pub start_us: u64,
     /// End, microseconds since process epoch.
     pub end_us: Option<u64>,
+    /// The trace this span belongs to, if any.
+    pub trace: Option<u128>,
+    /// Linked trace ids: traces this span carried across a thread
+    /// boundary (a `gateway.batch` span links every member request).
+    pub links: Vec<u128>,
 }
 
 impl SpanRecord {
@@ -46,7 +60,50 @@ impl SpanRecord {
     }
 }
 
-static REGISTRY: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+/// Default registry capacity; override with [`set_capacity`].
+pub const DEFAULT_SPAN_CAPACITY: usize = 8192;
+
+struct Registry {
+    /// Live records; `spans[i]` has id `base + i`.
+    spans: VecDeque<SpanRecord>,
+    /// Id of the oldest record still in `spans`.
+    base: usize,
+    /// Retirement threshold.
+    capacity: usize,
+}
+
+impl Registry {
+    fn get_mut(&mut self, id: usize) -> Option<&mut SpanRecord> {
+        let idx = id.checked_sub(self.base)?;
+        self.spans.get_mut(idx)
+    }
+}
+
+static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
+    spans: VecDeque::new(),
+    base: 0,
+    capacity: DEFAULT_SPAN_CAPACITY,
+});
+
+/// Pop closed spans off the front while over capacity. Only a contiguous
+/// closed prefix retires (ids are `base`-offset positions, so retirement
+/// must not punch holes); a long-open front span pins what follows, which
+/// is bounded by the number of live guards.
+fn retire_excess(reg: &mut Registry) -> Vec<SpanRecord> {
+    let mut retired = Vec::new();
+    while reg.spans.len() > reg.capacity {
+        match reg.spans.front() {
+            Some(front) if front.end_us.is_some() => {
+                if let Some(s) = reg.spans.pop_front() {
+                    reg.base += 1;
+                    retired.push(s);
+                }
+            }
+            _ => break,
+        }
+    }
+    retired
+}
 
 thread_local! {
     static STACK: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
@@ -63,15 +120,27 @@ pub fn span(name: &str) -> SpanGuard {
     span_with(name, Vec::new())
 }
 
-/// Open a span with string attributes.
+/// Open a span with string attributes; the parent is the top of the
+/// calling thread's span stack.
 pub fn span_with(name: &str, attrs: Vec<(String, String)>) -> SpanGuard {
-    let start_us = crate::elapsed_us();
     let parent = STACK.with(|s| s.borrow().last().copied());
+    open(name, attrs, parent)
+}
+
+/// Open a span with an **explicit parent** span id instead of the
+/// thread-local stack — the cross-thread causality primitive: a worker
+/// executing on behalf of a span opened elsewhere passes that span's id.
+pub fn span_child_of(name: &str, parent: Option<usize>, attrs: Vec<(String, String)>) -> SpanGuard {
+    open(name, attrs, parent)
+}
+
+fn open(name: &str, attrs: Vec<(String, String)>, parent: Option<usize>) -> SpanGuard {
+    let start_us = crate::elapsed_us();
     let id = {
         let (_order, mut reg) =
             crate::lockcheck::lock_ranked("telemetry.span.registry", &REGISTRY);
-        let id = reg.len();
-        reg.push(SpanRecord {
+        let id = reg.base + reg.spans.len();
+        reg.spans.push_back(SpanRecord {
             id,
             parent,
             name: name.to_string(),
@@ -79,6 +148,8 @@ pub fn span_with(name: &str, attrs: Vec<(String, String)>) -> SpanGuard {
             nums: Vec::new(),
             start_us,
             end_us: None,
+            trace: None,
+            links: Vec::new(),
         });
         id
     };
@@ -105,6 +176,27 @@ impl SpanGuard {
             rec.nums.push((key.to_string(), v));
         }
     }
+
+    /// Associate the span with a trace.
+    pub fn set_trace(&self, trace: u128) {
+        let (_order, mut reg) =
+            crate::lockcheck::lock_ranked("telemetry.span.registry", &REGISTRY);
+        if let Some(rec) = reg.get_mut(self.id) {
+            rec.trace = Some(trace);
+        }
+    }
+
+    /// Add a **span link**: this span carried work belonging to `trace`
+    /// (a batch span links every member request's trace across the
+    /// scheduler thread boundary). Idempotent per trace id.
+    pub fn link_trace(&self, trace: u128) {
+        let (_order, mut reg) =
+            crate::lockcheck::lock_ranked("telemetry.span.registry", &REGISTRY);
+        let Some(rec) = reg.get_mut(self.id) else { return };
+        if !rec.links.contains(&trace) {
+            rec.links.push(trace);
+        }
+    }
 }
 
 impl Drop for SpanGuard {
@@ -118,26 +210,41 @@ impl Drop for SpanGuard {
         });
         // Copy what the event needs, then release the lock before emitting.
         // A guard outliving a `reset()` finds no record; close silently.
-        let (name, attrs, nums, dur_us) = {
+        let (info, retired) = {
             let (_order, mut reg) =
                 crate::lockcheck::lock_ranked("telemetry.span.registry", &REGISTRY);
-            match reg.get_mut(self.id) {
+            let info = match reg.get_mut(self.id) {
                 Some(rec) => {
                     rec.end_us = Some(end_us);
-                    (
+                    Some((
                         rec.name.clone(),
                         rec.attrs.clone(),
                         rec.nums.clone(),
                         end_us.saturating_sub(rec.start_us),
-                    )
+                        rec.trace,
+                        rec.links.len(),
+                    ))
                 }
-                None => return,
-            }
+                None => None,
+            };
+            // Retire past-capacity closed spans now that this one closed
+            // (outside the lock below: the trace ring has a lower rank).
+            (info, retire_excess(&mut reg))
         };
+        if !retired.is_empty() {
+            crate::trace::retire_spans(retired);
+        }
+        let Some((name, attrs, nums, dur_us, trace, links)) = info else { return };
         if crate::sink::is_active() {
             let mut e = Event::new("span_end")
                 .str_field("span", &name)
                 .u64_field("dur_us", dur_us);
+            if let Some(t) = trace {
+                e = e.str_field("trace", &crate::trace::TraceId(t).to_hex());
+            }
+            if links > 0 {
+                e = e.u64_field("links", links as u64);
+            }
             for (k, v) in &attrs {
                 e = e.str_field(k, v);
             }
@@ -168,17 +275,31 @@ macro_rules! span {
     };
 }
 
-/// Snapshot the registry (open spans included).
+/// Set the registry's retirement threshold (min 16). Shrinking retires
+/// immediately; retired spans land in [`crate::trace::retired_spans`].
+pub fn set_capacity(capacity: usize) {
+    let retired = {
+        let (_order, mut reg) =
+            crate::lockcheck::lock_ranked("telemetry.span.registry", &REGISTRY);
+        reg.capacity = capacity.max(16);
+        retire_excess(&mut reg)
+    };
+    crate::trace::retire_spans(retired);
+}
+
+/// Snapshot the live registry (open spans included; retired spans are in
+/// [`crate::trace::retired_spans`]).
 pub fn snapshot() -> Vec<SpanRecord> {
     let (_order, reg) = crate::lockcheck::lock_ranked("telemetry.span.registry", &REGISTRY);
-    reg.clone()
+    reg.spans.iter().cloned().collect()
 }
 
 /// Clear the registry and the calling thread's span stack (tests and
-/// multi-run binaries).
+/// multi-run binaries). Capacity is kept; ids restart from 0.
 pub fn reset() {
     let (_order, mut reg) = crate::lockcheck::lock_ranked("telemetry.span.registry", &REGISTRY);
-    reg.clear();
+    reg.spans.clear();
+    reg.base = 0;
     drop(reg);
     drop(_order);
     STACK.with(|s| s.borrow_mut().clear());
@@ -239,5 +360,66 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(1));
         let d2 = snapshot().iter().find(|s| s.id == g.id()).unwrap().duration_us();
         assert!(d2 > d1);
+    }
+
+    #[test]
+    fn explicit_parent_crosses_threads() {
+        let root = span("xthread.root");
+        let root_id = root.id();
+        let child_id = std::thread::spawn(move || {
+            // On a fresh thread the stack is empty; the explicit parent
+            // still attaches this span under the root.
+            let g = span_child_of("xthread.child", Some(root_id), Vec::new());
+            g.link_trace(0xabc);
+            g.link_trace(0xabc); // idempotent
+            g.set_trace(0xdef);
+            g.id()
+        })
+        .join()
+        .unwrap();
+        drop(root);
+        let spans = snapshot();
+        let child = spans.iter().find(|s| s.id == child_id).unwrap();
+        assert_eq!(child.parent, Some(root_id));
+        assert_eq!(child.links, vec![0xabc]);
+        assert_eq!(child.trace, Some(0xdef));
+    }
+
+    /// Retirement policy on a local registry (the global one is shared
+    /// with concurrently running tests, so capacity is not shrunk here).
+    #[test]
+    fn retire_excess_pops_only_closed_prefix_and_keeps_ids_stable() {
+        let mk = |id: usize, closed: bool| SpanRecord {
+            id,
+            parent: None,
+            name: format!("s{id}"),
+            attrs: Vec::new(),
+            nums: Vec::new(),
+            start_us: id as u64,
+            end_us: closed.then_some(id as u64 + 1),
+            trace: None,
+            links: Vec::new(),
+        };
+        let mut reg = Registry { spans: VecDeque::new(), base: 0, capacity: 2 };
+        for (id, closed) in [(0, true), (1, true), (2, false), (3, true), (4, true)] {
+            reg.spans.push_back(mk(id, closed));
+        }
+        let retired = retire_excess(&mut reg);
+        // 0 and 1 retire; 2 is open and pins 3 and 4 despite capacity 2.
+        assert_eq!(retired.iter().map(|s| s.id).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(reg.base, 2);
+        assert_eq!(reg.spans.len(), 3);
+        // Ids remain addressable after the base shift.
+        assert_eq!(reg.get_mut(3).map(|s| s.id), Some(3));
+        assert!(reg.get_mut(1).is_none(), "retired id no longer addressable");
+        assert!(reg.get_mut(99).is_none());
+        // Closing the pin lets the rest retire.
+        if let Some(s) = reg.get_mut(2) {
+            s.end_us = Some(10);
+        }
+        let retired = retire_excess(&mut reg);
+        assert_eq!(retired.iter().map(|s| s.id).collect::<Vec<_>>(), vec![2]);
+        assert_eq!(reg.base, 3);
+        assert_eq!(reg.spans.len(), 2);
     }
 }

@@ -26,11 +26,16 @@ pub fn render() -> String {
 pub fn render_from(spans: &[SpanRecord], metrics: &MetricsSnapshot) -> String {
     let mut out = String::from("── run summary ─────────────────────────────────────────────\n");
     // Children sorted by start time under each parent; roots at depth 0.
+    // Span ids are allocation-ordered, not positional (the registry
+    // retires old spans), so parents resolve through an id → position
+    // map; a span whose parent has been retired renders as a root.
+    let pos: std::collections::HashMap<usize, usize> =
+        spans.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
     let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
     let mut roots: Vec<usize> = Vec::new();
     for (i, s) in spans.iter().enumerate() {
-        match s.parent {
-            Some(p) if p < spans.len() => children[p].push(i),
+        match s.parent.and_then(|p| pos.get(&p).copied()) {
+            Some(p) if p != i => children[p].push(i),
             _ => roots.push(i),
         }
     }
@@ -138,6 +143,8 @@ mod tests {
             nums: Vec::new(),
             start_us: start,
             end_us: Some(end),
+            trace: None,
+            links: Vec::new(),
         }
     }
 
@@ -157,6 +164,18 @@ mod tests {
     }
 
     #[test]
+    fn retired_parent_renders_child_as_root() {
+        // Parent id 0 was retired from the registry; ids no longer equal
+        // positions. The orphan must render at depth 0, not panic.
+        let orphan = rec(5, Some(0), "train", 100, 200);
+        let child = rec(7, Some(5), "step", 110, 190);
+        let out = render_from(&[orphan, child], &MetricsSnapshot::default());
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[1].starts_with("train"), "{out}");
+        assert!(lines[2].starts_with("  step"), "{out}");
+    }
+
+    #[test]
     fn metrics_sections_render() {
         let snap = MetricsSnapshot {
             counters: vec![("train.tokens".into(), 215040)],
@@ -172,11 +191,21 @@ mod tests {
                         p99: 980.0,
                         min: 60.0,
                         max: 1100.0,
+                        exemplar: None,
                     },
                 ),
                 (
                     "empty.hist".into(),
-                    HistSummary { count: 0, mean: 0.0, p50: 0.0, p95: 0.0, p99: 0.0, min: 0.0, max: 0.0 },
+                    HistSummary {
+                        count: 0,
+                        mean: 0.0,
+                        p50: 0.0,
+                        p95: 0.0,
+                        p99: 0.0,
+                        min: 0.0,
+                        max: 0.0,
+                        exemplar: None,
+                    },
                 ),
             ],
         };

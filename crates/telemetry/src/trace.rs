@@ -1,0 +1,880 @@
+//! End-to-end request tracing with cross-thread causality.
+//!
+//! A **trace** follows one request through every thread it touches: the
+//! gateway handler that accepts it, the scheduler that batches it, the
+//! engine worker that executes it, and back. Spans ([`crate::span`])
+//! cannot do this alone — they nest per-thread — so a trace is keyed by a
+//! process-unique 128-bit [`TraceId`] minted at the edge (or accepted
+//! from an inbound W3C `traceparent` header) and carried by value across
+//! thread boundaries.
+//!
+//! The unit of attribution is the **phase**: a named `[start_us, end_us]`
+//! interval ([`Phase`]) recorded against the trace from whichever thread
+//! is doing the work (`queue_wait`, `batch_form`, `cache_lookup`,
+//! `prefill`, `decode`, `extract`, `write`, …). Phases recorded with
+//! [`phase_since_last`] tile the request's wall time exactly, so the sum
+//! of phase durations accounts for the end-to-end latency — the property
+//! the `gateway_load` bench asserts.
+//!
+//! Finished traces flow into a **bounded ring buffer** with tail-based
+//! sampling: error, deadline-missed, fault-marked and slowest-p1% traces
+//! are always kept, the rest are sampled 1-in-N ([`TraceConfig`]). Kept
+//! traces are also emitted to the JSONL sink as single-line `trace`
+//! events that the `astro-trace` analyzer reads back. Memory is bounded
+//! no matter how long the server runs: the ring evicts oldest-first, and
+//! the span registry retires closed spans here (see
+//! [`crate::span::set_capacity`]) instead of growing without bound.
+
+use crate::span::SpanRecord;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A 128-bit trace identifier (non-zero, per the W3C trace-context rule).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u128);
+
+impl TraceId {
+    /// Render as 32 lowercase hex digits (the `traceparent` wire form).
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parse 32 lowercase hex digits; rejects the all-zero id.
+    pub fn from_hex(s: &str) -> Option<TraceId> {
+        if s.len() != 32 || !s.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f')) {
+            return None;
+        }
+        match u128::from_str_radix(s, 16) {
+            Ok(0) | Err(_) => None,
+            Ok(v) => Some(TraceId(v)),
+        }
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Trace context carried by value into the serving engine: the request's
+/// trace plus the span (e.g. `gateway.batch`) the engine-side span should
+/// claim as its explicit cross-thread parent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The request's trace id.
+    pub trace: TraceId,
+    /// Explicit parent span id for engine-side spans, if any.
+    pub parent_span: Option<usize>,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Mint a process-unique trace id: a counter (uniqueness) mixed with the
+/// wall clock and pid (cross-process dispersion).
+pub fn mint() -> TraceId {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let salt = crate::unix_time_secs() ^ u64::from(std::process::id()).rotate_left(32);
+    let hi = splitmix64(n ^ salt);
+    let lo = splitmix64(n.wrapping_mul(0x2545_f491_4f6c_dd1d) ^ salt.rotate_left(17));
+    let id = (u128::from(hi) << 64) | u128::from(lo);
+    TraceId(if id == 0 { 1 } else { id })
+}
+
+/// Parse a W3C `traceparent` header value
+/// (`00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>`). Returns the
+/// trace id and the remote parent span id. Rejects version `ff`, zero
+/// ids, and malformed fields.
+pub fn parse_traceparent(header: &str) -> Option<(TraceId, u64)> {
+    let mut parts = header.trim().split('-');
+    let (ver, trace, parent, flags) =
+        (parts.next()?, parts.next()?, parts.next()?, parts.next()?);
+    if parts.next().is_some() && ver == "00" {
+        return None; // version 00 has exactly four fields
+    }
+    if ver.len() != 2 || ver == "ff" || !ver.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    if flags.len() != 2 || !flags.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    let trace = TraceId::from_hex(trace)?;
+    if parent.len() != 16 || !parent.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f')) {
+        return None;
+    }
+    match u64::from_str_radix(parent, 16) {
+        Ok(0) | Err(_) => None,
+        Ok(p) => Some((trace, p)),
+    }
+}
+
+/// Render a `traceparent` header value for a trace and a span id, with
+/// the sampled flag set.
+pub fn format_traceparent(trace: TraceId, span: u64) -> String {
+    format!("00-{:032x}-{span:016x}-01", trace.0)
+}
+
+/// One attributed interval of a request's lifetime.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Phase {
+    /// Phase name (`queue_wait`, `prefill`, …).
+    pub name: &'static str,
+    /// Start, microseconds since process epoch.
+    pub start_us: u64,
+    /// End, microseconds since process epoch.
+    pub end_us: u64,
+}
+
+impl Phase {
+    /// Phase duration in microseconds.
+    pub fn duration_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+}
+
+/// Why a finished trace escaped sampling (tail-based keep reasons).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceFlags {
+    /// Request failed (5xx status or aborted before a response).
+    pub error: bool,
+    /// Request missed its deadline (504).
+    pub deadline: bool,
+    /// An injected fault fired on this request's path.
+    pub fault: bool,
+    /// End-to-end latency at or above the running p99.
+    pub slow: bool,
+}
+
+/// One complete (or in-flight) request trace.
+#[derive(Clone, Debug)]
+pub struct TraceRecord {
+    /// The trace id.
+    pub id: TraceId,
+    /// Root operation name, e.g. `gateway./v1/score`.
+    pub name: String,
+    /// Remote parent span id from an inbound `traceparent`, if any.
+    pub parent_span: Option<u64>,
+    /// Start, microseconds since process epoch.
+    pub start_us: u64,
+    /// End, microseconds since process epoch (0 while in flight).
+    pub end_us: u64,
+    /// HTTP status of the response (0 = dropped before a response).
+    pub status: u16,
+    /// Tail-sampling classification.
+    pub flags: TraceFlags,
+    /// Why the trace was kept (`""` = sampled out or still in flight).
+    pub keep: &'static str,
+    /// String annotations (`cache = "hit"`, `fault = "serve.cache_full"`).
+    pub attrs: Vec<(&'static str, String)>,
+    /// Numeric annotations (`cached_tokens`, `prompt_tokens`, …).
+    pub nums: Vec<(&'static str, f64)>,
+    /// Attributed phases in recording order.
+    pub phases: Vec<Phase>,
+    /// Span links: (span name, span id) pairs tying this trace to spans
+    /// on other threads (e.g. the `gateway.batch` span that carried it).
+    pub links: Vec<(&'static str, usize)>,
+}
+
+impl TraceRecord {
+    /// End-to-end duration in microseconds (up to now while in flight).
+    pub fn duration_us(&self) -> u64 {
+        let end = if self.end_us == 0 { crate::elapsed_us() } else { self.end_us };
+        end.saturating_sub(self.start_us)
+    }
+
+    /// Look up a phase by name (first match).
+    pub fn phase(&self, name: &str) -> Option<&Phase> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+
+    /// Sum of all phase durations in microseconds.
+    pub fn phase_total_us(&self) -> u64 {
+        self.phases.iter().map(Phase::duration_us).sum()
+    }
+
+    /// Serialise as a single-line `trace` JSON event in the sink's JSON
+    /// subset (round-trips through `astro_eval::json`).
+    pub fn to_json_line(&self) -> String {
+        use crate::event::write_json_string;
+        let mut out = String::with_capacity(256 + 48 * self.phases.len());
+        out.push_str("{\"event\":\"trace\",\"trace\":");
+        write_json_string(&mut out, &self.id.to_hex());
+        out.push_str(",\"name\":");
+        write_json_string(&mut out, &self.name);
+        if let Some(p) = self.parent_span {
+            out.push_str(&format!(",\"parent_span\":\"{p:016x}\""));
+        }
+        out.push_str(&format!(
+            ",\"status\":{},\"start_us\":{},\"end_us\":{},\"dur_us\":{}",
+            self.status,
+            self.start_us,
+            self.end_us,
+            self.duration_us()
+        ));
+        out.push_str(",\"keep\":");
+        write_json_string(&mut out, self.keep);
+        out.push_str(",\"flags\":[");
+        let mut first = true;
+        for (set, label) in [
+            (self.flags.error, "error"),
+            (self.flags.deadline, "deadline"),
+            (self.flags.fault, "fault"),
+            (self.flags.slow, "slow"),
+        ] {
+            if set {
+                if !first {
+                    out.push(',');
+                }
+                write_json_string(&mut out, label);
+                first = false;
+            }
+        }
+        out.push(']');
+        if !self.links.is_empty() {
+            out.push_str(",\"links\":[");
+            for (i, (name, id)) in self.links.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"span\":");
+                write_json_string(&mut out, name);
+                out.push_str(&format!(",\"id\":{id}}}"));
+            }
+            out.push(']');
+        }
+        if !self.attrs.is_empty() {
+            out.push_str(",\"attrs\":{");
+            for (i, (k, v)) in self.attrs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_string(&mut out, k);
+                out.push(':');
+                write_json_string(&mut out, v);
+            }
+            out.push('}');
+        }
+        if !self.nums.is_empty() {
+            out.push_str(",\"nums\":{");
+            for (i, (k, v)) in self.nums.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_string(&mut out, k);
+                out.push(':');
+                if v.is_finite() {
+                    out.push_str(&format!("{v}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            out.push('}');
+        }
+        out.push_str(",\"phases\":[");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            write_json_string(&mut out, p.name);
+            out.push_str(&format!(",\"start_us\":{},\"end_us\":{}}}", p.start_us, p.end_us));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Tail-sampling and capacity knobs for the trace subsystem.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Maximum finished traces retained in the ring (oldest evicted).
+    pub ring_capacity: usize,
+    /// Keep 1 in N unflagged traces (1 = keep everything).
+    pub sample_one_in: u64,
+    /// Minimum finished-trace count before the slowest-p1% keep rule
+    /// activates (the p99 estimate needs data to be meaningful).
+    pub slow_keep_min_count: u64,
+    /// Maximum retired span records retained (oldest evicted).
+    pub retired_span_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            ring_capacity: 2048,
+            sample_one_in: 1,
+            slow_keep_min_count: 128,
+            retired_span_capacity: 1024,
+        }
+    }
+}
+
+fn inflight() -> &'static Mutex<HashMap<u128, TraceRecord>> {
+    static S: OnceLock<Mutex<HashMap<u128, TraceRecord>>> = OnceLock::new();
+    S.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+struct Ring {
+    cfg: TraceConfig,
+    traces: VecDeque<TraceRecord>,
+    retired_spans: VecDeque<SpanRecord>,
+    finished: u64,
+    kept: u64,
+    evicted: u64,
+}
+
+fn ring() -> &'static Mutex<Ring> {
+    static S: OnceLock<Mutex<Ring>> = OnceLock::new();
+    S.get_or_init(|| {
+        Mutex::new(Ring {
+            cfg: TraceConfig::default(),
+            traces: VecDeque::new(),
+            retired_spans: VecDeque::new(),
+            finished: 0,
+            kept: 0,
+            evicted: 0,
+        })
+    })
+}
+
+/// Install a new [`TraceConfig`] (applies to traces finished after the
+/// call; shrinking capacities evicts immediately).
+pub fn configure(cfg: TraceConfig) {
+    let (_order, mut ring) = crate::lockcheck::lock_ranked("telemetry.trace.ring", ring());
+    ring.cfg = TraceConfig {
+        ring_capacity: cfg.ring_capacity.max(1),
+        sample_one_in: cfg.sample_one_in.max(1),
+        slow_keep_min_count: cfg.slow_keep_min_count,
+        retired_span_capacity: cfg.retired_span_capacity.max(1),
+    };
+    while ring.traces.len() > ring.cfg.ring_capacity {
+        ring.traces.pop_front();
+        ring.evicted += 1;
+    }
+    while ring.retired_spans.len() > ring.cfg.retired_span_capacity {
+        ring.retired_spans.pop_front();
+    }
+}
+
+/// The currently installed [`TraceConfig`].
+pub fn config() -> TraceConfig {
+    let (_order, ring) = crate::lockcheck::lock_ranked("telemetry.trace.ring", ring());
+    ring.cfg
+}
+
+/// Open a trace. `start_us` anchors the trace at the moment the request
+/// actually arrived (phases recorded later tile `[start_us, end]`).
+/// Returns `false` if the id is already in flight (caller should mint a
+/// fresh id — duplicate inbound `traceparent`s must not merge records).
+pub fn start(id: TraceId, name: &str, parent_span: Option<u64>, start_us: u64) -> bool {
+    let rec = TraceRecord {
+        id,
+        name: name.to_string(),
+        parent_span,
+        start_us,
+        end_us: 0,
+        status: 0,
+        flags: TraceFlags::default(),
+        keep: "",
+        attrs: Vec::new(),
+        nums: Vec::new(),
+        phases: Vec::new(),
+        links: Vec::new(),
+    };
+    let (_order, mut map) = crate::lockcheck::lock_ranked("telemetry.trace.inflight", inflight());
+    if map.contains_key(&id.0) {
+        return false;
+    }
+    map.insert(id.0, rec);
+    true
+}
+
+/// True while `id` is open (started but not finished).
+pub fn is_inflight(id: TraceId) -> bool {
+    let (_order, map) = crate::lockcheck::lock_ranked("telemetry.trace.inflight", inflight());
+    map.contains_key(&id.0)
+}
+
+fn with_inflight(id: TraceId, f: impl FnOnce(&mut TraceRecord)) {
+    let (_order, mut map) = crate::lockcheck::lock_ranked("telemetry.trace.inflight", inflight());
+    if let Some(rec) = map.get_mut(&id.0) {
+        f(rec);
+    }
+}
+
+/// Record a phase with explicit bounds. Silently a no-op if the trace is
+/// unknown or already finished — late recorders (a scheduler stamping a
+/// request whose handler already timed out) must never resurrect a trace.
+pub fn phase(id: TraceId, name: &'static str, start_us: u64, end_us: u64) {
+    with_inflight(id, |rec| {
+        rec.phases.push(Phase { name, start_us, end_us: end_us.max(start_us) });
+    });
+}
+
+/// Record a phase spanning from the previous phase's end (or the trace
+/// start) to now, and return the phase's end timestamp. This is how
+/// consecutive phases are guaranteed to tile the request's wall time with
+/// no gaps. Returns `None` if the trace is unknown or finished.
+pub fn phase_since_last(id: TraceId, name: &'static str) -> Option<u64> {
+    let now = crate::elapsed_us();
+    let mut recorded = None;
+    with_inflight(id, |rec| {
+        let start = rec.phases.last().map_or(rec.start_us, |p| p.end_us);
+        rec.phases.push(Phase { name, start_us: start, end_us: now.max(start) });
+        recorded = Some(now.max(start));
+    });
+    recorded
+}
+
+/// Attach or overwrite a string annotation.
+pub fn annotate(id: TraceId, key: &'static str, value: &str) {
+    with_inflight(id, |rec| match rec.attrs.iter_mut().find(|(k, _)| *k == key) {
+        Some(slot) => slot.1 = value.to_string(),
+        None => rec.attrs.push((key, value.to_string())),
+    });
+}
+
+/// Attach or overwrite a numeric annotation.
+pub fn record_num(id: TraceId, key: &'static str, v: f64) {
+    with_inflight(id, |rec| match rec.nums.iter_mut().find(|(k, _)| *k == key) {
+        Some(slot) => slot.1 = v,
+        None => rec.nums.push((key, v)),
+    });
+}
+
+/// Link a span (by name and id) to the trace — the cross-thread causality
+/// edge, e.g. the `gateway.batch` span that carried this request through
+/// the scheduler.
+pub fn link(id: TraceId, span_name: &'static str, span_id: usize) {
+    with_inflight(id, |rec| {
+        if !rec.links.iter().any(|&(n, s)| n == span_name && s == span_id) {
+            rec.links.push((span_name, span_id));
+        }
+    });
+}
+
+/// Mark the trace as having hit an injected fault at `site`; fault-marked
+/// traces always survive tail sampling.
+pub fn mark_fault(id: TraceId, site: &str) {
+    with_inflight(id, |rec| {
+        rec.flags.fault = true;
+        match rec.attrs.iter_mut().find(|(k, _)| *k == "fault") {
+            Some(slot) => {
+                if !slot.1.split(',').any(|s| s == site) {
+                    slot.1.push(',');
+                    slot.1.push_str(site);
+                }
+            }
+            None => rec.attrs.push(("fault", site.to_string())),
+        }
+    });
+}
+
+/// Mark the trace as having missed its deadline (kept unconditionally).
+pub fn mark_deadline(id: TraceId) {
+    with_inflight(id, |rec| rec.flags.deadline = true);
+}
+
+/// Clone the in-flight record (for rendering a phase breakdown into the
+/// response body before the trace finishes). `None` once finished.
+pub fn inflight_snapshot(id: TraceId) -> Option<TraceRecord> {
+    let (_order, map) = crate::lockcheck::lock_ranked("telemetry.trace.inflight", inflight());
+    map.get(&id.0).cloned()
+}
+
+/// Close the trace: stamp the end time and status, classify it for tail
+/// sampling, feed the latency histograms, retain it in the ring if kept
+/// (also emitting a `trace` JSONL event), and return the finished record.
+/// One-shot: a second finish for the same id returns `None`.
+pub fn finish(id: TraceId, status: u16) -> Option<TraceRecord> {
+    let mut rec = {
+        let (_order, mut map) =
+            crate::lockcheck::lock_ranked("telemetry.trace.inflight", inflight());
+        map.remove(&id.0)?
+    };
+    rec.end_us = crate::elapsed_us();
+    rec.status = status;
+    if status == 0 || status >= 500 {
+        rec.flags.error = true;
+    }
+    if status == 504 {
+        rec.flags.deadline = true;
+    }
+    let e2e = rec.duration_us() as f64;
+    let hist = crate::metrics::histogram("trace.e2e_us");
+    let (prior_count, p99) = (hist.count(), hist.quantile(0.99));
+    hist.observe_with_exemplar(e2e, rec.id.0);
+    for p in &rec.phases {
+        crate::metrics::histogram(&format!("trace.phase.{}_us", p.name))
+            .observe(p.duration_us() as f64);
+    }
+    let keep = {
+        let (_order, mut ring) = crate::lockcheck::lock_ranked("telemetry.trace.ring", ring());
+        ring.finished += 1;
+        let cfg = ring.cfg;
+        let keep = if rec.flags.deadline {
+            "deadline"
+        } else if rec.flags.error {
+            "error"
+        } else if rec.flags.fault {
+            "fault"
+        } else if prior_count >= cfg.slow_keep_min_count && e2e >= p99 {
+            rec.flags.slow = true;
+            "slow"
+        } else if ring.finished % cfg.sample_one_in == 0 {
+            "sampled"
+        } else {
+            ""
+        };
+        if !keep.is_empty() {
+            rec.keep = keep;
+            ring.kept += 1;
+            ring.traces.push_back(rec.clone());
+            while ring.traces.len() > cfg.ring_capacity {
+                ring.traces.pop_front();
+                ring.evicted += 1;
+            }
+        }
+        keep
+    };
+    crate::metrics::counter("trace.finished").inc();
+    if keep.is_empty() {
+        crate::metrics::counter("trace.sampled_out").inc();
+    } else {
+        crate::metrics::counter("trace.kept").inc();
+        if crate::sink::is_active() {
+            crate::sink::emit_line(&rec.to_json_line());
+        }
+    }
+    Some(rec)
+}
+
+/// Move closed spans evicted from the span registry into the bounded
+/// retired-span ring (called by [`crate::span`]; see
+/// [`crate::span::set_capacity`]).
+pub fn retire_spans(spans: Vec<SpanRecord>) {
+    if spans.is_empty() {
+        return;
+    }
+    let n = spans.len() as u64;
+    {
+        let (_order, mut ring) = crate::lockcheck::lock_ranked("telemetry.trace.ring", ring());
+        let cap = ring.cfg.retired_span_capacity;
+        for s in spans {
+            ring.retired_spans.push_back(s);
+        }
+        while ring.retired_spans.len() > cap {
+            ring.retired_spans.pop_front();
+        }
+    }
+    crate::metrics::counter("span.retired").add(n);
+}
+
+/// Snapshot the retired-span ring (most recent `retired_span_capacity`
+/// spans evicted from the live registry).
+pub fn retired_spans() -> Vec<SpanRecord> {
+    let (_order, ring) = crate::lockcheck::lock_ranked("telemetry.trace.ring", ring());
+    ring.retired_spans.iter().cloned().collect()
+}
+
+/// Snapshot the kept-trace ring, oldest first.
+pub fn ring_snapshot() -> Vec<TraceRecord> {
+    let (_order, ring) = crate::lockcheck::lock_ranked("telemetry.trace.ring", ring());
+    ring.traces.iter().cloned().collect()
+}
+
+/// Drain the kept-trace ring, oldest first.
+pub fn drain_ring() -> Vec<TraceRecord> {
+    let (_order, mut ring) = crate::lockcheck::lock_ranked("telemetry.trace.ring", ring());
+    ring.traces.drain(..).collect()
+}
+
+/// Write every kept trace in the ring to `path` as JSONL; returns the
+/// number of lines written.
+pub fn write_ring_jsonl(path: &std::path::Path) -> std::io::Result<usize> {
+    use std::io::Write;
+    let traces = ring_snapshot();
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for t in &traces {
+        writeln!(w, "{}", t.to_json_line())?;
+    }
+    w.flush()?;
+    Ok(traces.len())
+}
+
+/// Point-in-time counters for the trace subsystem.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Traces currently open.
+    pub inflight: usize,
+    /// Traces finished since start/reset.
+    pub finished: u64,
+    /// Finished traces that survived tail sampling.
+    pub kept: u64,
+    /// Kept traces evicted from the ring by capacity.
+    pub evicted: u64,
+    /// Kept traces currently in the ring.
+    pub ring_len: usize,
+}
+
+/// Read the trace subsystem's counters.
+pub fn stats() -> TraceStats {
+    let inflight_n = {
+        let (_order, map) = crate::lockcheck::lock_ranked("telemetry.trace.inflight", inflight());
+        map.len()
+    };
+    let (_order, ring) = crate::lockcheck::lock_ranked("telemetry.trace.ring", ring());
+    TraceStats {
+        inflight: inflight_n,
+        finished: ring.finished,
+        kept: ring.kept,
+        evicted: ring.evicted,
+        ring_len: ring.traces.len(),
+    }
+}
+
+/// Clear all trace state — in-flight table, ring, retired spans and
+/// counters (tests and multi-run binaries). The config is kept.
+pub fn reset() {
+    {
+        let (_order, mut map) =
+            crate::lockcheck::lock_ranked("telemetry.trace.inflight", inflight());
+        map.clear();
+    }
+    let (_order, mut ring) = crate::lockcheck::lock_ranked("telemetry.trace.ring", ring());
+    ring.traces.clear();
+    ring.retired_spans.clear();
+    ring.finished = 0;
+    ring.kept = 0;
+    ring.evicted = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Trace state is process-global; tests that mutate it serialise on
+    /// this gate (same pattern as the fault-injection tests).
+    static GATE: Mutex<()> = Mutex::new(());
+
+    fn gate() -> (crate::lockcheck::LockToken, std::sync::MutexGuard<'static, ()>) {
+        crate::lockcheck::lock_ranked("test.fault_gate", &GATE)
+    }
+
+    #[test]
+    fn trace_id_hex_round_trip() {
+        let id = TraceId(0x0123_4567_89ab_cdef_0011_2233_4455_6677);
+        assert_eq!(id.to_hex().len(), 32);
+        assert_eq!(TraceId::from_hex(&id.to_hex()), Some(id));
+        assert_eq!(TraceId::from_hex("0"), None);
+        assert_eq!(TraceId::from_hex(&"0".repeat(32)), None, "zero id rejected");
+        assert_eq!(TraceId::from_hex(&"G".repeat(32)), None);
+        assert_eq!(TraceId::from_hex(&"A".repeat(32)), None, "uppercase rejected");
+    }
+
+    #[test]
+    fn mint_is_unique_and_nonzero() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let id = mint();
+            assert_ne!(id.0, 0);
+            assert!(seen.insert(id.0), "duplicate minted id {id}");
+        }
+    }
+
+    #[test]
+    fn traceparent_round_trip_and_rejects() {
+        let id = mint();
+        let header = format_traceparent(id, 0xdead_beef);
+        let (t, p) = parse_traceparent(&header).expect("own header parses");
+        assert_eq!(t, id);
+        assert_eq!(p, 0xdead_beef);
+        // W3C examples.
+        let (t, p) = parse_traceparent(
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+        )
+        .unwrap();
+        assert_eq!(t.to_hex(), "4bf92f3577b34da6a3ce929d0e0e4736");
+        assert_eq!(p, 0x00f0_67aa_0ba9_02b7);
+        for bad in [
+            "",
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7", // missing flags
+            "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // version ff
+            "00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // zero parent
+            "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01", // uppercase
+            "00-4bf92f3577b34da6-00f067aa0ba902b7-01",                 // short trace
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-xx", // extra field
+        ] {
+            assert_eq!(parse_traceparent(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn lifecycle_phases_tile_and_finish_is_one_shot() {
+        let _g = gate();
+        reset();
+        let id = mint();
+        let t0 = crate::elapsed_us();
+        assert!(start(id, "gateway./v1/score", Some(7), t0));
+        assert!(!start(id, "dup", None, t0), "duplicate id rejected");
+        assert!(is_inflight(id));
+        let e1 = phase_since_last(id, "recv").unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let e2 = phase_since_last(id, "queue_wait").unwrap();
+        phase(id, "decode", e2, e2 + 10);
+        annotate(id, "cache", "hit");
+        record_num(id, "cached_tokens", 12.0);
+        link(id, "gateway.batch", 42);
+        link(id, "gateway.batch", 42); // dedup
+        let snap = inflight_snapshot(id).unwrap();
+        assert_eq!(snap.phases.len(), 3);
+        assert_eq!(snap.phases[0].start_us, t0, "first phase starts at trace start");
+        assert_eq!(snap.phases[0].end_us, e1);
+        assert_eq!(snap.phases[1].start_us, e1, "phases tile with no gaps");
+        assert_eq!(snap.links, vec![("gateway.batch", 42)]);
+
+        let rec = finish(id, 200).expect("finish returns the record");
+        assert!(!is_inflight(id));
+        assert_eq!(rec.status, 200);
+        assert_eq!(rec.keep, "sampled", "default config keeps everything");
+        assert!(rec.end_us >= rec.start_us);
+        assert_eq!(rec.phase("decode").unwrap().duration_us(), 10);
+        assert!(finish(id, 200).is_none(), "finish is one-shot");
+        // Late recorders on a finished trace are silent no-ops.
+        phase(id, "late", 0, 1);
+        assert!(phase_since_last(id, "late").is_none());
+        assert_eq!(ring_snapshot().len(), 1);
+        reset();
+    }
+
+    #[test]
+    fn tail_sampling_keeps_flagged_and_samples_rest() {
+        let _g = gate();
+        reset();
+        configure(TraceConfig {
+            sample_one_in: 5,
+            slow_keep_min_count: u64::MAX, // isolate from the shared histogram
+            ..TraceConfig::default()
+        });
+        let t0 = crate::elapsed_us();
+        // 10 clean traces → 2 sampled; 1 error + 1 deadline + 1 fault → all kept.
+        for _ in 0..10 {
+            let id = mint();
+            assert!(start(id, "ok", None, t0));
+            let rec = finish(id, 200).unwrap();
+            assert!(rec.keep.is_empty() || rec.keep == "sampled");
+        }
+        let err = mint();
+        assert!(start(err, "err", None, t0));
+        assert_eq!(finish(err, 500).unwrap().keep, "error");
+        let dl = mint();
+        assert!(start(dl, "dl", None, t0));
+        let rec = finish(dl, 504).unwrap();
+        assert_eq!(rec.keep, "deadline");
+        assert!(rec.flags.deadline);
+        let flt = mint();
+        assert!(start(flt, "flt", None, t0));
+        mark_fault(flt, "serve.cache_full");
+        mark_fault(flt, "serve.cache_full"); // idempotent
+        let rec = finish(flt, 200).unwrap();
+        assert_eq!(rec.keep, "fault");
+        assert_eq!(rec.attrs, vec![("fault", "serve.cache_full".to_string())]);
+        let kept = ring_snapshot();
+        assert_eq!(kept.len(), 2 + 3, "2 sampled of 10, plus 3 flagged: {kept:#?}");
+        let st = stats();
+        assert_eq!(st.finished, 13);
+        assert_eq!(st.kept, 5);
+        configure(TraceConfig::default());
+        reset();
+    }
+
+    #[test]
+    fn ring_is_bounded_and_evicts_oldest() {
+        let _g = gate();
+        reset();
+        configure(TraceConfig {
+            ring_capacity: 4,
+            slow_keep_min_count: u64::MAX,
+            ..TraceConfig::default()
+        });
+        let t0 = crate::elapsed_us();
+        let mut ids = Vec::new();
+        for _ in 0..10 {
+            let id = mint();
+            assert!(start(id, "r", None, t0));
+            finish(id, 200);
+            ids.push(id);
+        }
+        let ring = ring_snapshot();
+        assert_eq!(ring.len(), 4);
+        let kept: Vec<TraceId> = ring.iter().map(|r| r.id).collect();
+        assert_eq!(kept, ids[6..].to_vec(), "oldest evicted first");
+        assert_eq!(stats().evicted, 6);
+        assert_eq!(drain_ring().len(), 4);
+        assert!(ring_snapshot().is_empty());
+        configure(TraceConfig::default());
+        reset();
+    }
+
+    #[test]
+    fn retired_span_ring_is_bounded() {
+        let _g = gate();
+        reset();
+        configure(TraceConfig { retired_span_capacity: 3, ..TraceConfig::default() });
+        let mk = |i: usize| SpanRecord {
+            id: i,
+            parent: None,
+            name: format!("s{i}"),
+            attrs: Vec::new(),
+            nums: Vec::new(),
+            start_us: 0,
+            end_us: Some(1),
+            trace: None,
+            links: Vec::new(),
+        };
+        retire_spans((0..7).map(mk).collect());
+        let retired = retired_spans();
+        assert_eq!(retired.len(), 3);
+        assert_eq!(retired[0].id, 4, "oldest retired spans evicted");
+        configure(TraceConfig::default());
+        reset();
+    }
+
+    #[test]
+    fn json_line_shape() {
+        let _g = gate();
+        reset();
+        let id = mint();
+        let t0 = crate::elapsed_us();
+        assert!(start(id, "gateway./v1/score", Some(0xabc), t0));
+        phase(id, "recv", t0, t0 + 5);
+        annotate(id, "cache", "miss");
+        record_num(id, "prompt_tokens", 17.0);
+        link(id, "gateway.batch", 3);
+        mark_fault(id, "gateway.accept_fail");
+        let rec = finish(id, 503).unwrap();
+        let line = rec.to_json_line();
+        assert!(line.starts_with("{\"event\":\"trace\""), "{line}");
+        assert!(line.contains(&format!("\"trace\":\"{}\"", id.to_hex())), "{line}");
+        assert!(line.contains("\"parent_span\":\"0000000000000abc\""), "{line}");
+        assert!(line.contains("\"status\":503"), "{line}");
+        assert!(line.contains("\"error\""), "{line}");
+        assert!(line.contains("\"fault\""), "{line}");
+        assert!(line.contains("\"links\":[{\"span\":\"gateway.batch\",\"id\":3}]"), "{line}");
+        assert!(line.contains("\"attrs\":{"), "{line}");
+        assert!(line.contains("\"nums\":{\"prompt_tokens\":17}"), "{line}");
+        assert!(line.contains("\"phases\":[{\"name\":\"recv\""), "{line}");
+        assert!(!line.contains('\n'));
+        reset();
+    }
+}

@@ -1,0 +1,91 @@
+//! `astro-trace` — analyze a telemetry JSONL file's trace events.
+//!
+//! ```sh
+//! astro-trace phases    telemetry.jsonl            # per-phase p50/p95/p99 table
+//! astro-trace waterfall telemetry.jsonl [limit]    # slowest-N ASCII waterfalls
+//! astro-trace chrome    telemetry.jsonl [out.json] # Chrome Trace Event export
+//! ```
+//!
+//! The input is any JSONL stream produced by the telemetry sink (trace
+//! events mixed with spans/metrics/logs is fine; non-trace lines are
+//! skipped). `chrome` writes `trace_chrome.json` by default — load it in
+//! `chrome://tracing` or Perfetto.
+
+use astro_trace::{chrome_trace_json, parse_jsonl, render_phase_table, render_waterfalls, validate_chrome_json};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: astro-trace <phases|waterfall|chrome> <file.jsonl> [limit|out.json]\n\
+         \n\
+         phases     per-phase p50/p95/p99/max attribution table\n\
+         waterfall  ASCII waterfalls for the slowest traces (default limit 10)\n\
+         chrome     Chrome Trace Event JSON export (default out: trace_chrome.json)"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (Some(cmd), Some(path)) = (args.get(1), args.get(2)) else {
+        usage();
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("astro-trace: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let report = parse_jsonl(&text);
+    if !report.malformed.is_empty() {
+        for (line, why) in report.malformed.iter().take(5) {
+            eprintln!("astro-trace: line {line}: {why}");
+        }
+        eprintln!(
+            "astro-trace: {} malformed line(s); continuing with {} traces",
+            report.malformed.len(),
+            report.traces.len()
+        );
+    }
+    if report.traces.is_empty() {
+        eprintln!(
+            "astro-trace: no trace events in {path} ({} other lines)",
+            report.skipped
+        );
+        std::process::exit(1);
+    }
+
+    match cmd.as_str() {
+        "phases" => {
+            print!("{}", render_phase_table(&report.traces));
+        }
+        "waterfall" => {
+            let limit = args.get(3).and_then(|a| a.parse().ok()).unwrap_or(10);
+            print!("{}", render_waterfalls(&report.traces, 60, limit));
+        }
+        "chrome" => {
+            let out_path = args
+                .get(3)
+                .cloned()
+                .unwrap_or_else(|| "trace_chrome.json".to_string());
+            let chrome = chrome_trace_json(&report.traces);
+            match validate_chrome_json(&chrome, &report.traces) {
+                Ok(n) => {
+                    if let Err(e) = std::fs::write(&out_path, &chrome) {
+                        eprintln!("astro-trace: cannot write {out_path}: {e}");
+                        std::process::exit(1);
+                    }
+                    println!(
+                        "astro-trace: wrote {n} events for {} traces to {out_path}",
+                        report.traces.len()
+                    );
+                }
+                Err(e) => {
+                    eprintln!("astro-trace: export failed self-validation: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

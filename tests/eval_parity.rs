@@ -180,6 +180,7 @@ fn prefix_cache_actually_fires_on_the_grouped_workload() {
                 prompt: tokens,
                 group: Some(q.article as u64),
                 readout: ScoreReadout::LogitGroups(vec![vec![0]]),
+                trace: None,
             }
         })
         .collect();
@@ -204,11 +205,13 @@ fn overlong_prompt_fails_one_question_and_the_sweep_completes() {
         prompt: vec![3, 1, 4, 1, 5],
         group: None,
         readout: ScoreReadout::LogitGroups(vec![vec![1], vec![2], vec![3], vec![4]]),
+        trace: None,
     };
     let bad = ScoreJob {
         prompt: vec![7; params.cfg.max_seq + 10],
         group: None,
         readout: ScoreReadout::LogitGroups(vec![vec![1], vec![2], vec![3], vec![4]]),
+        trace: None,
     };
     let results = engine.score_batch(vec![good.clone(), bad, good]);
     assert_eq!(results.len(), 3);

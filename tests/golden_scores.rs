@@ -64,8 +64,14 @@ fn figure1_fast_artifact_matches_golden() {
     // The recorded artifact and the golden must never diverge: the golden
     // is the score section of the artifact, so editing one without the
     // other means the regression baseline no longer describes the
-    // recorded run.
-    let artifact = read("figure1_fast.txt");
+    // recorded run. The artifact itself is regenerated output (untracked
+    // since the resilience PR), so a checkout without a local `figure1 --
+    // fast` run has nothing to cross-check — skip rather than fail; the
+    // golden stays guarded by the recompute tests either way.
+    let Ok(artifact) = std::fs::read_to_string(repo_path("figure1_fast.txt")) else {
+        eprintln!("figure1_fast.txt not present (regenerated output); skipping artifact cross-check");
+        return;
+    };
     let csv_start = artifact
         .find("model,method,score_percent")
         .expect("figure1_fast.txt lost its CSV section");
