@@ -20,6 +20,13 @@
 //!   `crates/parallel` and `crates/telemetry` from source, cycle
 //!   detection, and a cross-check against the ranks declared to the
 //!   runtime `astro_telemetry::lockcheck` instrumentation.
+//! * [`waits`] — a **wait/notify protocol audit** over the same crates:
+//!   every condvar belongs to a declared protocol (`waits.*` rule ids),
+//!   waits sit in predicate re-check loops, guarded-predicate mutations
+//!   notify in the same function, and mpsc channels have a draining
+//!   receiver. This is the static complement of the `astro-check`
+//!   bounded model checker: the checker explores the protocols the table
+//!   declares; this pass guarantees the table is the whole story.
 //! * [`lint`] — a zero-dep, line/token-level **source linter** enforcing
 //!   repo rules clippy cannot (no `unwrap()` in library crates outside
 //!   tests, no `println!` outside `bin/`, `#[must_use]` on builder-style
@@ -34,11 +41,13 @@ pub mod lint;
 pub mod lockorder;
 pub mod preflight;
 pub mod report;
+pub mod waits;
 
 pub use ir::{DType, Dim, GraphSummary, Shape};
 pub use lint::{lint_workspace, LintConfig, LintReport};
 pub use lockorder::{analyze_locks, LockReport};
 pub use preflight::{preflight_model, preflight_study, PreflightReport, RunCheck};
+pub use waits::{analyze_waits, WaitReport};
 
 /// How bad a finding is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -3,9 +3,11 @@
 //! Every `Mutex::lock()` call in `crates/parallel`, `crates/serve`,
 //! `crates/resilience`, `crates/telemetry` and `crates/gateway` is either
 //! preceded by a `lockcheck::acquire("<lock name>")` annotation or taken
-//! through the combined `lockcheck::lock_ranked("<lock name>", …)` helper
-//! (see [`astro_telemetry::lockcheck`]). This pass re-derives the
-//! lock-acquisition graph from source text alone:
+//! through a combined helper — `lockcheck::lock_ranked("<lock name>", …)`
+//! or the model-checkable `sync::lock_ranked("<lock name>", …)` wrapper
+//! from `astro_telemetry::sync` (see [`astro_telemetry::lockcheck`]).
+//! This pass re-derives the lock-acquisition graph from source text
+//! alone:
 //!
 //! * `locks.unknown` — an annotation names a lock with no declared rank.
 //! * `locks.order` — an acquisition is (lexically) nested inside a lock of
@@ -66,7 +68,7 @@ impl LockReport {
 /// Strip `//` line comments and the interiors of string literals so brace
 /// counting and pattern matches ignore prose. Block comments are handled
 /// by the caller via `in_block_comment`.
-fn strip_noise(line: &str, in_block_comment: &mut bool) -> String {
+pub(crate) fn strip_noise(line: &str, in_block_comment: &mut bool) -> String {
     let bytes = line.as_bytes();
     let mut out = String::with_capacity(line.len());
     let mut i = 0;
@@ -117,14 +119,21 @@ fn strip_noise(line: &str, in_block_comment: &mut bool) -> String {
     out
 }
 
-/// Extract the lock name from a `lockcheck::acquire("…")` or
-/// `lockcheck::lock_ranked("…", …)` call, if any. The combined helper
-/// both annotates and takes the lock, so a site using it needs no
-/// separate `.lock()` within the annotation window.
+/// Extract the lock name from a `lockcheck::acquire("…")`,
+/// `lockcheck::lock_ranked("…", …)` or `sync::lock_ranked("…", …)` call,
+/// if any. The combined helpers both annotate and take the lock, so a
+/// site using one needs no separate `.lock()` within the annotation
+/// window. `sync::lock_ranked` is the `astro_telemetry::sync` wrapper
+/// that routes through the model-checker shim under `--cfg astro_check`;
+/// it acquires the same rank as the `lockcheck` helpers.
 fn acquire_name(line: &str) -> Option<&str> {
-    let rest = ["lockcheck::acquire(", "lockcheck::lock_ranked("]
-        .iter()
-        .find_map(|pat| line.find(pat).map(|idx| &line[idx + pat.len()..]))?;
+    let rest = [
+        "lockcheck::acquire(",
+        "lockcheck::lock_ranked(",
+        "sync::lock_ranked(",
+    ]
+    .iter()
+    .find_map(|pat| line.find(pat).map(|idx| &line[idx + pat.len()..]))?;
     let start = rest.find('"')? + 1;
     let end = start + rest[start..].find('"')?;
     Some(&rest[start..end])
@@ -312,6 +321,13 @@ pub fn analyze_locks(root: &Path) -> LockReport {
         if file.ends_with("lockcheck.rs") {
             continue; // the checker's own implementation, not a client
         }
+        if file.ends_with("telemetry/src/sync.rs") {
+            // The sync-primitive re-export shim: its `lock_ranked` wrapper
+            // performs the annotated acquisition on behalf of every
+            // caller, so its own raw `.lock()` is the annotation
+            // mechanism, not an unannotated client site.
+            continue;
+        }
         if let Err(e) = scan_file(file, &mut report) {
             report.diagnostics.push(Diagnostic::error(
                 "locks.io",
@@ -384,6 +400,18 @@ mod tests {
                 "let (_o, g) = crate::lockcheck::lock_ranked(\"gateway.queue\", &self.inner);"
             ),
             Some("gateway.queue")
+        );
+        assert_eq!(
+            acquire_name(
+                "let (_order, mut inner) = sync::lock_ranked(\"gateway.queue\", &self.inner);"
+            ),
+            Some("gateway.queue")
+        );
+        assert_eq!(
+            acquire_name(
+                "let (_t, g) = crate::sync::lock_ranked(\"telemetry.trace.ring\", ring());"
+            ),
+            Some("telemetry.trace.ring")
         );
         assert_eq!(acquire_name("let x = foo();"), None);
     }

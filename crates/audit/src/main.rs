@@ -4,6 +4,7 @@
 //! astro-audit preflight --all-presets     # shape/dtype/budget checks, all presets
 //! astro-audit preflight --preset smoke    # one preset
 //! astro-audit locks                       # static lock-order analysis
+//! astro-audit waits                       # wait/notify protocol analysis
 //! astro-audit lint                        # workspace lint gate (allowlisted)
 //! astro-audit lint --write-allowlist      # regenerate the allowlist in place
 //! astro-audit all                         # every pass + audit_report.json
@@ -18,6 +19,7 @@ use astro_audit::lint::{lint_workspace, render_allowlist, LintConfig, ALLOWLIST_
 use astro_audit::lockorder::analyze_locks;
 use astro_audit::preflight::preflight_study;
 use astro_audit::report::AuditReport;
+use astro_audit::waits::analyze_waits;
 use astro_audit::Severity;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -41,6 +43,22 @@ fn find_root() -> PathBuf {
 /// A named preset constructor (`smoke` / `fast` / `full`).
 type Preset = (&'static str, fn(u64) -> astromlab::StudyConfig);
 
+/// Read `BENCH_check.json` (written by the `check_explore` bench) so the
+/// model checker's explored-schedule counts land in `audit_report.json`
+/// next to the static `waits.*` findings. The raw text is only attached
+/// after it round-trips through the repo's own JSON parser; a missing or
+/// malformed file is simply omitted.
+fn load_model_check(root: &Path) -> Option<String> {
+    let text = std::fs::read_to_string(root.join("BENCH_check.json")).ok()?;
+    match astro_eval::json::Json::parse(&text) {
+        Ok(_) => Some(text),
+        Err(e) => {
+            eprintln!("ignoring malformed BENCH_check.json: {e}");
+            None
+        }
+    }
+}
+
 fn print_diags<'a, I: IntoIterator<Item = &'a astro_audit::Diagnostic>>(diags: I) {
     for d in diags {
         println!("  {}", d.render());
@@ -49,7 +67,7 @@ fn print_diags<'a, I: IntoIterator<Item = &'a astro_audit::Diagnostic>>(diags: I
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: astro-audit <preflight [--all-presets | --preset NAME] | locks | \
+        "usage: astro-audit <preflight [--all-presets | --preset NAME] | locks | waits | \
          lint [--write-allowlist] | all> [--report PATH]"
     );
     ExitCode::from(2)
@@ -125,6 +143,18 @@ fn main() -> ExitCode {
             print_diags(&locks.diagnostics);
             report.locks = Some(locks);
         }
+        "waits" => {
+            let waits = analyze_waits(&root);
+            println!(
+                "waits: {} protocols, {} wait sites, {} diagnostics",
+                waits.protocols,
+                waits.sites.len(),
+                waits.diagnostics.len()
+            );
+            print_diags(&waits.diagnostics);
+            report.waits = Some(waits);
+            report.model_check = load_model_check(&root);
+        }
         "lint" => {
             if args.iter().any(|a| a == "--write-allowlist") {
                 let (findings, scanned) = astro_audit::lint::collect_findings(&root);
@@ -167,6 +197,16 @@ fn main() -> ExitCode {
             println!("locks: {} sites, {} diagnostics", locks.sites.len(), locks.diagnostics.len());
             print_diags(&locks.diagnostics);
             report.locks = Some(locks);
+            let waits = analyze_waits(&root);
+            println!(
+                "waits: {} protocols, {} sites, {} diagnostics",
+                waits.protocols,
+                waits.sites.len(),
+                waits.diagnostics.len()
+            );
+            print_diags(&waits.diagnostics);
+            report.waits = Some(waits);
+            report.model_check = load_model_check(&root);
             let lint = lint_workspace(&LintConfig::new(&root));
             println!(
                 "lint: {} files, {} suppressed, {} diagnostics",

@@ -9,6 +9,7 @@
 use crate::lint::LintReport;
 use crate::lockorder::LockReport;
 use crate::preflight::PreflightReport;
+use crate::waits::WaitReport;
 use crate::{Diagnostic, Severity};
 
 /// Escape a string for JSON output.
@@ -50,6 +51,12 @@ pub struct AuditReport {
     pub preflight: Vec<PreflightReport>,
     /// Lock-order analysis, if the pass ran.
     pub locks: Option<LockReport>,
+    /// Wait/notify protocol analysis, if the pass ran.
+    pub waits: Option<WaitReport>,
+    /// Model-checker exploration stats (the raw `BENCH_check.json`
+    /// document, pre-validated against the repo JSON parser), if a
+    /// `check_explore` run is available next to the report.
+    pub model_check: Option<String>,
     /// Lint results, if the pass ran.
     pub lint: Option<LintReport>,
 }
@@ -74,6 +81,7 @@ impl AuditReport {
                     .chain(p.checks.iter().flat_map(|c| c.diagnostics.iter()))
             })
             .chain(self.locks.iter().flat_map(|l| l.diagnostics.iter()))
+            .chain(self.waits.iter().flat_map(|w| w.diagnostics.iter()))
             .chain(self.lint.iter().flat_map(|l| l.diagnostics.iter()))
     }
 
@@ -136,6 +144,34 @@ impl AuditReport {
             ));
         }
 
+        if let Some(waits) = &self.waits {
+            let sites: Vec<String> = waits
+                .sites
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{{\"condvar\":\"{}\",\"at\":\"{}\",\"in_loop\":{}}}",
+                        esc(&s.condvar),
+                        esc(&s.at),
+                        s.in_loop
+                    )
+                })
+                .collect();
+            out.push_str(&format!(
+                ",\"waits\":{{\"ok\":{},\"protocols\":{},\"sites\":[{}],\"diagnostics\":{}}}",
+                waits.ok(),
+                waits.protocols,
+                sites.join(","),
+                diags_json(&waits.diagnostics)
+            ));
+        }
+
+        if let Some(check) = &self.model_check {
+            // Raw embed: the caller validated this against the repo's own
+            // JSON parser before attaching it.
+            out.push_str(&format!(",\"model_check\":{check}"));
+        }
+
         if let Some(lint) = &self.lint {
             out.push_str(&format!(
                 ",\"lint\":{{\"ok\":{},\"files_scanned\":{},\"suppressed\":{},\
@@ -165,14 +201,37 @@ mod tests {
     fn report_json_parses_with_repo_parser() {
         let report = AuditReport {
             preflight: vec![preflight_study(&astromlab::StudyConfig::smoke(0), "smoke")],
-            locks: None,
-            lint: None,
+            ..AuditReport::default()
         };
         let json = report.to_json();
         let value = astro_eval::json::Json::parse(&json).expect("report must parse");
         assert!(value.get("preflight").is_some());
         assert!(value.get("summary").is_some());
         assert!(matches!(value.get("version"), Some(astro_eval::json::Json::Number(n)) if *n == 1.0));
+    }
+
+    #[test]
+    fn waits_and_model_check_sections_round_trip() {
+        let mut waits = crate::waits::WaitReport {
+            protocols: 2,
+            ..crate::waits::WaitReport::default()
+        };
+        waits.sites.push(crate::waits::WaitSite {
+            condvar: "cv".to_string(),
+            at: "crates/gateway/src/queue.rs:108".to_string(),
+            in_loop: true,
+        });
+        let report = AuditReport {
+            waits: Some(waits),
+            model_check: Some("{\"bench\":\"check_explore\",\"failures\":0}".to_string()),
+            ..AuditReport::default()
+        };
+        let json = report.to_json();
+        let value = astro_eval::json::Json::parse(&json).expect("report must parse");
+        let w = value.get("waits").expect("waits section");
+        assert!(matches!(w.get("protocols"), Some(astro_eval::json::Json::Number(n)) if *n == 2.0));
+        let mc = value.get("model_check").expect("model_check section");
+        assert!(mc.get("failures").is_some());
     }
 
     #[test]

@@ -1,0 +1,177 @@
+//! Replayable counterexample schedules.
+//!
+//! A schedule is the complete decision log of one execution: every grant
+//! the scheduler made, in order. Serialised as JSONL (one step per line)
+//! it is both human-readable — each line names the thread, the operation
+//! and the resource — and machine-replayable: [`Schedule::decisions`]
+//! recovers the thread-id sequence that [`crate::replay`] feeds back into
+//! the scheduler to re-execute the interleaving deterministically.
+
+/// One granted operation in an execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StepRec {
+    /// 0-based position in the schedule.
+    pub step: usize,
+    /// Thread id granted at this step.
+    pub thread: usize,
+    /// Thread debug name (e.g. `worker-0`).
+    pub name: String,
+    /// Operation kind (`lock`, `unlock`, `notify_one`, `send`, …).
+    pub op: String,
+    /// Resource the operation touched (`m0:gateway.queue`, `cv1`, `t2`).
+    pub resource: String,
+}
+
+/// A full decision log, serialisable to/from JSONL.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Schedule {
+    /// The granted steps, in execution order.
+    pub steps: Vec<StepRec>,
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Extract the integer value of `"key":<digits>` from a JSONL line.
+fn field_usize(line: &str, key: &str) -> Option<usize> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    let rest = line[at..].trim_start();
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Extract the string value of `"key":"…"` from a JSONL line (handles the
+/// escapes `esc` produces).
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let at = line.find(&pat)? + pat.len();
+    let bytes = line.as_bytes();
+    let mut out = String::new();
+    let mut i = at;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Some(out),
+            b'\\' if i + 1 < bytes.len() => {
+                match bytes[i + 1] {
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    c => out.push(c as char),
+                }
+                i += 2;
+            }
+            c => {
+                out.push(c as char);
+                i += 1;
+            }
+        }
+    }
+    None
+}
+
+impl Schedule {
+    /// Build from the scheduler's step log.
+    pub(crate) fn from_steps(steps: Vec<StepRec>) -> Self {
+        Schedule { steps }
+    }
+
+    /// The thread-id decision sequence (what replay needs).
+    pub fn decisions(&self) -> Vec<usize> {
+        self.steps.iter().map(|s| s.thread).collect()
+    }
+
+    /// Serialise as JSONL: one `{"step":…,"thread":…,…}` object per line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.steps {
+            out.push_str(&format!(
+                "{{\"step\":{},\"thread\":{},\"name\":\"{}\",\"op\":\"{}\",\"resource\":\"{}\"}}\n",
+                s.step,
+                s.thread,
+                esc(&s.name),
+                esc(&s.op),
+                esc(&s.resource),
+            ));
+        }
+        out
+    }
+
+    /// Parse a schedule back from JSONL. Lines without a `"thread"` field
+    /// are skipped, so annotated/commented dumps still replay. Returns
+    /// `None` when no steps were found.
+    pub fn from_jsonl(text: &str) -> Option<Self> {
+        let mut steps = Vec::new();
+        for line in text.lines() {
+            let Some(thread) = field_usize(line, "thread") else { continue };
+            steps.push(StepRec {
+                step: field_usize(line, "step").unwrap_or(steps.len()),
+                thread,
+                name: field_str(line, "name").unwrap_or_default(),
+                op: field_str(line, "op").unwrap_or_default(),
+                resource: field_str(line, "resource").unwrap_or_default(),
+            });
+        }
+        if steps.is_empty() {
+            None
+        } else {
+            Some(Schedule { steps })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let s = Schedule {
+            steps: vec![
+                StepRec {
+                    step: 0,
+                    thread: 0,
+                    name: "main".into(),
+                    op: "lock".into(),
+                    resource: "m0:gateway.queue".into(),
+                },
+                StepRec {
+                    step: 1,
+                    thread: 2,
+                    name: "worker \"w\"".into(),
+                    op: "notify_one".into(),
+                    resource: "cv1".into(),
+                },
+            ],
+        };
+        let text = s.to_jsonl();
+        let back = Schedule::from_jsonl(&text).unwrap();
+        assert_eq!(s, back);
+        assert_eq!(back.decisions(), vec![0, 2]);
+    }
+
+    #[test]
+    fn parse_skips_foreign_lines() {
+        let text = "# comment\n{\"thread\":3,\"op\":\"send\"}\nnot json\n";
+        let s = Schedule::from_jsonl(text).unwrap();
+        assert_eq!(s.decisions(), vec![3]);
+        assert_eq!(s.steps[0].op, "send");
+    }
+
+    #[test]
+    fn empty_parse_is_none() {
+        assert!(Schedule::from_jsonl("").is_none());
+        assert!(Schedule::from_jsonl("plain text\n").is_none());
+    }
+}

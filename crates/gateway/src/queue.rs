@@ -5,9 +5,19 @@
 //! scheduler's batching clock. The inner mutex is ranked
 //! `gateway.queue` in the telemetry lock hierarchy; see
 //! `astro_telemetry::lockcheck`.
+//!
+//! The queue's primitives come from `astro_telemetry::sync` (std in
+//! normal builds, the `astro-check` model-checker shim under
+//! `--cfg astro_check`), so the push/pop/close protocol is exhaustively
+//! explored for deadlocks and lost wakeups by `tests/check_queue.rs`.
+//! A poisoned mutex (a producer panicking mid-push via the
+//! `gateway.queue_poison` fault site) degrades to poison *recovery*:
+//! every critical section leaves the buffer structurally valid, so later
+//! callers simply adopt the state as-is.
 
+use astro_resilience::fault;
+use astro_telemetry::sync::{self, Condvar, Mutex, PoisonError};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::Duration;
 
 struct Inner<T> {
@@ -57,8 +67,7 @@ impl<T> BoundedQueue<T> {
     /// Enqueue without blocking. On success returns the queue depth
     /// *after* the push (for the queue-depth gauge).
     pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
-        let (_order, mut inner) =
-            astro_telemetry::lockcheck::lock_ranked("gateway.queue", &self.inner);
+        let (_order, mut inner) = sync::lock_ranked("gateway.queue", &self.inner);
         if inner.closed {
             return Err(PushError::Closed(item));
         }
@@ -67,6 +76,12 @@ impl<T> BoundedQueue<T> {
         }
         inner.items.push_back(item);
         let depth = inner.items.len();
+        // Chaos hook: panic while still holding the lock, poisoning the
+        // mutex *after* a completed mutation — the recovery contract is
+        // that later callers adopt the (valid) buffer as-is.
+        if fault::should_fault("gateway.queue_poison") {
+            std::panic::panic_any(fault::FaultPanic("gateway.queue_poison"));
+        }
         drop(inner);
         self.cv.notify_one();
         Ok(depth)
@@ -77,8 +92,7 @@ impl<T> BoundedQueue<T> {
     /// [`Pop::TimedOut`] once it elapses. A closed queue keeps yielding
     /// buffered items until empty, so a graceful drain loses nothing.
     pub fn pop(&self, timeout: Option<Duration>) -> Pop<T> {
-        let (_order, mut inner) =
-            astro_telemetry::lockcheck::lock_ranked("gateway.queue", &self.inner);
+        let (_order, mut inner) = sync::lock_ranked("gateway.queue", &self.inner);
         let deadline = timeout.map(|d| std::time::Instant::now() + d);
         loop {
             if let Some(item) = inner.items.pop_front() {
@@ -111,16 +125,14 @@ impl<T> BoundedQueue<T> {
 
     /// Current queue depth (for `/metricsz` and the depth gauge).
     pub fn depth(&self) -> usize {
-        let (_order, inner) =
-            astro_telemetry::lockcheck::lock_ranked("gateway.queue", &self.inner);
+        let (_order, inner) = sync::lock_ranked("gateway.queue", &self.inner);
         inner.items.len()
     }
 
     /// Close the queue: future pushes fail with [`PushError::Closed`],
     /// and consumers see [`Pop::Closed`] once the buffer drains.
     pub fn close(&self) {
-        let (_order, mut inner) =
-            astro_telemetry::lockcheck::lock_ranked("gateway.queue", &self.inner);
+        let (_order, mut inner) = sync::lock_ranked("gateway.queue", &self.inner);
         inner.closed = true;
         drop(inner);
         self.cv.notify_all();

@@ -1,0 +1,123 @@
+//! Model-check the real [`BoundedQueue`] push/pop/close protocol.
+//!
+//! Build with `RUSTFLAGS="--cfg astro_check"`; in normal builds this file
+//! compiles to nothing. The checker explores every interleaving (up to
+//! the preemption bound) of producers, a consumer and `close`, asserting:
+//!
+//! * no deadlock and no lost wakeup (the checker's built-in guarantees);
+//! * the queue never holds more than `capacity` items;
+//! * a graceful drain delivers every accepted item, in FIFO order.
+#![cfg(astro_check)]
+
+use astro_check::{explore, CheckConfig};
+use astro_gateway::queue::{BoundedQueue, Pop, PushError};
+use astro_telemetry::sync::thread;
+use std::sync::Arc;
+
+fn cfg() -> CheckConfig {
+    CheckConfig::default()
+}
+
+#[test]
+fn drain_delivers_every_accepted_item_in_order() {
+    let report = explore(&cfg(), || {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let producer = thread::spawn(move || {
+            let mut accepted = 0u32;
+            for v in 1..=2u32 {
+                if q2.try_push(v).is_ok() {
+                    accepted += 1;
+                }
+            }
+            q2.close();
+            accepted
+        });
+        let mut drained: Vec<u32> = Vec::new();
+        loop {
+            match q.pop(None) {
+                Pop::Item(v) => drained.push(v),
+                Pop::Closed => break,
+                Pop::TimedOut => unreachable!("pop(None) cannot time out"),
+            }
+        }
+        let accepted = producer.join().unwrap_or_else(|_| panic!("producer panicked"));
+        assert_eq!(drained.len() as u32, accepted, "drain lost accepted items");
+        for w in drained.windows(2) {
+            assert!(w[0] < w[1], "FIFO order violated: {drained:?}");
+        }
+    });
+    assert!(report.ok(), "{:?}", report.violation);
+    assert!(!report.truncated);
+    assert!(report.schedules > 1, "expected interleavings, got {}", report.schedules);
+}
+
+#[test]
+fn capacity_is_never_exceeded_and_rejects_hand_items_back() {
+    let report = explore(&cfg(), || {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(1));
+        let q2 = Arc::clone(&q);
+        let producer = thread::spawn(move || {
+            let mut accepted = 0u32;
+            for v in [10u32, 20u32] {
+                match q2.try_push(v) {
+                    Ok(depth) => {
+                        assert!(depth <= 1, "depth {depth} exceeds capacity 1");
+                        accepted += 1;
+                    }
+                    Err(PushError::Full(item)) => assert_eq!(item, v, "rejected item lost"),
+                    Err(PushError::Closed(_)) => unreachable!("queue is never closed here"),
+                }
+            }
+            q2.close();
+            accepted
+        });
+        let mut drained = 0u32;
+        loop {
+            assert!(q.depth() <= 1, "queue depth exceeded capacity");
+            match q.pop(None) {
+                Pop::Item(_) => drained += 1,
+                Pop::Closed => break,
+                Pop::TimedOut => unreachable!("pop(None) cannot time out"),
+            }
+        }
+        let accepted = producer.join().unwrap_or_else(|_| panic!("producer panicked"));
+        assert_eq!(drained, accepted);
+    });
+    assert!(report.ok(), "{:?}", report.violation);
+    assert!(!report.truncated);
+}
+
+#[test]
+fn two_consumers_close_wakes_everyone() {
+    // The lost-wakeup shape: two blocked consumers, one close. `close`
+    // uses notify_all — if it used notify_one, one consumer would sleep
+    // forever and the checker would report a deadlock.
+    let report = explore(&cfg(), || {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(2));
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut got = 0u32;
+                    loop {
+                        match q.pop(None) {
+                            Pop::Item(_) => got += 1,
+                            Pop::Closed => return got,
+                            Pop::TimedOut => unreachable!("pop(None) cannot time out"),
+                        }
+                    }
+                })
+            })
+            .collect();
+        let _ = q.try_push(7);
+        q.close();
+        let total: u32 = consumers
+            .into_iter()
+            .map(|c| c.join().unwrap_or_else(|_| panic!("consumer panicked")))
+            .sum();
+        assert_eq!(total, 1, "the single accepted item must be delivered exactly once");
+    });
+    assert!(report.ok(), "{:?}", report.violation);
+    assert!(!report.truncated);
+}

@@ -1,0 +1,173 @@
+//! Property tests for the token-bucket rate limiter.
+//!
+//! Deterministic randomized trials (seeded `astro_prng::Rng`, no wall
+//! clock: every admit uses an explicit `Instant` offset) over random
+//! `(rate, burst)` configurations and random request schedules. Three
+//! families of properties:
+//!
+//! * **burst cap** — at any single instant a fresh client is granted
+//!   exactly `floor(burst)` requests, and over any schedule the total
+//!   grants never exceed the tokens conservation bound
+//!   `burst + rate·elapsed + 1`;
+//! * **refill monotonicity** — while a client keeps getting rejected,
+//!   later `Retry-After` hints never grow (rejections consume nothing
+//!   and refill only accumulates), and waiting never revokes an
+//!   admission that an earlier instant would have granted;
+//! * **Retry-After consistency** — the hint is an upper bound the
+//!   limiter honours: retrying exactly `Retry-After` seconds later is
+//!   always granted, and the hint is never zero.
+
+use astro_gateway::limiter::{Admission, RateLimiter};
+use astro_prng::Rng;
+use std::time::{Duration, Instant};
+
+/// Trials per property; each trial draws a fresh configuration.
+const TRIALS: usize = 100;
+
+/// Draw a limiter configuration: rate in [0.1, 50) tokens/sec, burst in
+/// [1, 20] tokens (integral, so `floor(burst)` grants are unambiguous).
+fn draw_config(rng: &mut Rng) -> (f64, f64) {
+    let rate = 0.1 + rng.f64() * 49.9;
+    let burst = rng.range(1, 21) as f64;
+    (rate, burst)
+}
+
+#[test]
+fn fresh_client_burst_is_exactly_floor_burst_at_one_instant() {
+    let mut rng = Rng::seed_from(0x11a1_7e57);
+    for trial in 0..TRIALS {
+        let (rate, burst) = draw_config(&mut rng);
+        let lim = RateLimiter::new(rate, burst);
+        let t0 = Instant::now();
+        let mut granted = 0usize;
+        for _ in 0..(burst as usize + 5) {
+            if lim.admit_at("c", t0) == Admission::Granted {
+                granted += 1;
+            }
+        }
+        assert_eq!(
+            granted, burst as usize,
+            "trial {trial}: rate={rate} burst={burst}: {granted} grants at one instant"
+        );
+    }
+}
+
+#[test]
+fn grants_never_exceed_token_conservation_bound() {
+    let mut rng = Rng::seed_from(0xb0c4_e7b1);
+    for trial in 0..TRIALS {
+        let (rate, burst) = draw_config(&mut rng);
+        let lim = RateLimiter::new(rate, burst);
+        let t0 = Instant::now();
+        let mut now = t0;
+        let mut granted = 0u64;
+        for _ in 0..200 {
+            // Random gap 0..500ms, occasionally a long idle period that
+            // must not bank more than `burst` tokens.
+            let gap_ms = if rng.range(0, 20) == 0 { 5_000 } else { rng.range_u64(0, 500) };
+            now += Duration::from_millis(gap_ms);
+            if lim.admit_at("c", now) == Admission::Granted {
+                granted += 1;
+            }
+        }
+        let elapsed = now.duration_since(t0).as_secs_f64();
+        let bound = burst + rate * elapsed + 1.0;
+        assert!(
+            (granted as f64) <= bound,
+            "trial {trial}: rate={rate} burst={burst}: {granted} grants > bound {bound:.1} \
+             over {elapsed:.1}s"
+        );
+    }
+}
+
+#[test]
+fn retry_after_hints_shrink_while_rejected() {
+    let mut rng = Rng::seed_from(0x5eed_5eed);
+    for trial in 0..TRIALS {
+        // Slow rates make multi-second deficits, so hints have room to
+        // step downward.
+        let rate = 0.05 + rng.f64() * 0.45;
+        let burst = rng.range(1, 4) as f64;
+        let lim = RateLimiter::new(rate, burst);
+        let t0 = Instant::now();
+        let mut now = t0;
+        // Drain the bucket.
+        while lim.admit_at("c", now) == Admission::Granted {}
+        let mut last_hint = u64::MAX;
+        loop {
+            match lim.admit_at("c", now) {
+                Admission::Granted => break,
+                Admission::RetryAfter(s) => {
+                    assert!(s >= 1, "trial {trial}: zero Retry-After");
+                    assert!(
+                        s <= last_hint,
+                        "trial {trial}: rate={rate} burst={burst}: hint grew {last_hint} -> {s} \
+                         with no intervening grant"
+                    );
+                    last_hint = s;
+                    now += Duration::from_millis(200 + rng.range_u64(0, 300));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn waiting_the_advertised_retry_after_is_always_granted() {
+    let mut rng = Rng::seed_from(0xc0ff_ee00);
+    for trial in 0..TRIALS {
+        let (rate, burst) = draw_config(&mut rng);
+        let lim = RateLimiter::new(rate, burst);
+        let t0 = Instant::now();
+        let mut now = t0;
+        // Random prefix of traffic to land the bucket in an arbitrary state.
+        for _ in 0..rng.range(1, 40) {
+            now += Duration::from_millis(rng.range_u64(1, 200));
+            let _ = lim.admit_at("c", now);
+        }
+        // Force at least one rejection, then honour the hint exactly.
+        while lim.admit_at("c", now) == Admission::Granted {}
+        let hint = match lim.admit_at("c", now) {
+            Admission::RetryAfter(s) => s,
+            Admission::Granted => unreachable!("drained above"),
+        };
+        let retry_at = now + Duration::from_secs(hint);
+        assert_eq!(
+            lim.admit_at("c", retry_at),
+            Admission::Granted,
+            "trial {trial}: rate={rate} burst={burst}: rejected after waiting the \
+             advertised {hint}s"
+        );
+    }
+}
+
+#[test]
+fn refill_is_monotone_in_elapsed_time() {
+    // If the limiter would grant a request after waiting `d`, it must
+    // also grant after any longer wait `d' > d` (same bucket state:
+    // probe via two identically-driven limiters).
+    let mut rng = Rng::seed_from(0x0d15_ea5e);
+    for trial in 0..TRIALS {
+        let (rate, burst) = draw_config(&mut rng);
+        let a = RateLimiter::new(rate, burst);
+        let b = RateLimiter::new(rate, burst);
+        let t0 = Instant::now();
+        let mut now = t0;
+        // Identical random drive on both limiters.
+        for _ in 0..rng.range(1, 60) {
+            now += Duration::from_millis(rng.range_u64(1, 150));
+            let ra = a.admit_at("c", now);
+            let rb = b.admit_at("c", now);
+            assert_eq!(ra, rb, "trial {trial}: identical drives diverged");
+        }
+        let short = Duration::from_millis(500 + rng.range_u64(0, 2_000));
+        let extra = Duration::from_millis(1 + rng.range_u64(0, 3_000));
+        if a.admit_at("c", now + short) == Admission::Granted {
+            assert_eq!(
+                b.admit_at("c", now + short + extra),
+                Admission::Granted,
+                "trial {trial}: rate={rate} burst={burst}: waiting longer lost the grant"
+            );
+        }
+    }
+}

@@ -93,7 +93,10 @@ pub fn sample_logits(logits: &[f32], config: &SamplerConfig, rng: &mut Rng) -> u
     // Optionally restrict to top-k.
     let mut idx: Vec<usize> = (0..logits.len()).collect();
     if config.top_k > 0 && config.top_k < logits.len() {
-        idx.sort_unstable_by(|&a, &b| logits[b].partial_cmp(&logits[a]).expect("finite logits"));
+        // `total_cmp` gives a total order even for NaN logits (they sort
+        // last), so top-k selection cannot panic on a degenerate forward
+        // pass.
+        idx.sort_unstable_by(|&a, &b| logits[b].total_cmp(&logits[a]));
         idx.truncate(config.top_k);
     }
     // Stable softmax over the kept set.

@@ -16,13 +16,22 @@
 //! its pending slot is released, and the worker keeps serving the queue —
 //! a panic can therefore never hang `join` or starve the pool. The
 //! `pool.worker_panic` fault site injects exactly such a panic for the
-//! chaos suite. Mutex poisoning (only possible if telemetry panicked
-//! inside a critical section) is recovered rather than propagated: the
-//! protected state is a plain counter, which stays consistent.
+//! chaos suite. Mutex poisoning (possible via the `pool.pending_poison`
+//! fault site, which panics inside the pending-counter critical section)
+//! is recovered rather than propagated: the protected state is a plain
+//! counter that every critical section leaves consistent, so later
+//! callers adopt it as-is and `join` can never hang on a poisoned lock.
+//!
+//! The pool's primitives come from `astro_telemetry::sync` (std in
+//! normal builds, the `astro-check` model-checker shim under
+//! `--cfg astro_check`), so the submit/run/quiescence protocol is
+//! exhaustively explored for deadlocks and lost wakeups by
+//! `tests/check_pool.rs`.
 
 use astro_resilience::fault;
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use astro_telemetry::sync::mpsc::{channel, Receiver, Sender};
+use astro_telemetry::sync::{self, thread, Condvar, Mutex, PoisonError};
+use std::sync::Arc;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -38,10 +47,10 @@ struct Shared {
 impl Shared {
     /// Take the pending-counter lock under its declared rank, recovering
     /// from poison (the counter cannot be left half-updated).
-    fn lock_pending(&self) -> (astro_telemetry::lockcheck::LockToken, MutexGuard<'_, usize>) {
-        let order = astro_telemetry::lockcheck::acquire("parallel.pool.pending");
-        let guard = self.pending.lock().unwrap_or_else(PoisonError::into_inner);
-        (order, guard)
+    fn lock_pending(
+        &self,
+    ) -> (astro_telemetry::lockcheck::LockToken, sync::MutexGuard<'_, usize>) {
+        sync::lock_ranked("parallel.pool.pending", &self.pending)
     }
 
     /// Run one job with panic isolation, then release its pending slot.
@@ -62,13 +71,20 @@ impl Shared {
         if *pending == 0 {
             self.quiescent.notify_all();
         }
+        // Chaos hook: panic while still holding the pending lock,
+        // poisoning it *after* the decrement+notify completed — the
+        // recovery contract is that `lock_pending` adopts the (valid)
+        // counter as-is, so `join` never hangs on a poisoned lock.
+        if fault::should_fault("pool.pending_poison") {
+            std::panic::panic_any(fault::FaultPanic("pool.pending_poison"));
+        }
     }
 }
 
 /// A fixed-size worker pool.
 pub struct ThreadPool {
     sender: Option<Sender<Job>>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
     shared: Arc<Shared>,
 }
 
@@ -91,15 +107,14 @@ impl ThreadPool {
             .filter_map(|i| {
                 let rx: Arc<Mutex<Receiver<Job>>> = Arc::clone(&receiver);
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
+                thread::Builder::new()
                     .name(format!("astro-pool-{i}"))
                     .spawn(move || loop {
                         // Hold the lock only while receiving, not while
                         // running the job, so workers execute concurrently.
                         let job = {
-                            let _order =
-                                astro_telemetry::lockcheck::acquire("parallel.pool.receiver");
-                            let rx_guard = rx.lock().unwrap_or_else(PoisonError::into_inner);
+                            let (_order, rx_guard) =
+                                sync::lock_ranked("parallel.pool.receiver", &rx);
                             match rx_guard.recv() {
                                 Ok(job) => job,
                                 Err(_) => break, // channel disconnected

@@ -56,10 +56,10 @@ impl Categorical {
     /// Draw a category index.
     pub fn sample(&self, rng: &mut Rng) -> usize {
         let u = rng.f64();
-        match self
-            .cumulative
-            .binary_search_by(|c| c.partial_cmp(&u).expect("cumulative weights are finite"))
-        {
+        // `total_cmp` keeps the search total even if a weight degenerated
+        // to NaN upstream; NaN cumulative entries sort after every real
+        // `u`, which clamps to the final category instead of panicking.
+        match self.cumulative.binary_search_by(|c| c.total_cmp(&u)) {
             Ok(i) => (i + 1).min(self.cumulative.len() - 1),
             Err(i) => i.min(self.cumulative.len() - 1),
         }

@@ -32,6 +32,8 @@ pub const SITES: &[&str] = &[
     "study.stage_boundary",
     "gateway.accept_fail",
     "gateway.slow_client",
+    "gateway.queue_poison",
+    "pool.pending_poison",
 ];
 
 /// Panic payload used when a plan injects a panic (the thread pool's

@@ -29,10 +29,11 @@ use astro_model::{sample_logits, InferenceSession, ModelConfig, Params, SamplerC
 use astro_parallel::ThreadPool;
 use astro_prng::Rng;
 use astro_resilience::fault;
+use astro_telemetry::sync::{self, mpsc, Mutex, MutexGuard};
 use astro_telemetry::{lockcheck, trace, TraceContext};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex, MutexGuard};
+use std::sync::Arc;
 
 /// A per-job engine failure. The batch is unaffected: every other job
 /// still completes and returns its own result.
@@ -202,13 +203,10 @@ pub struct EvalEngine {
 /// Lock the prefix cache under its declared lock rank, recovering from
 /// poisoning (the cache holds no invariants a panicked worker could have
 /// half-applied: every mutation completes or the trie is unchanged).
+/// Routed through `astro_telemetry::sync` so cache acquisition is a
+/// scheduling point under `--cfg astro_check` (see `tests/check_cache.rs`).
 fn lock_cache(cache: &Mutex<PrefixCache>) -> (lockcheck::LockToken, MutexGuard<'_, PrefixCache>) {
-    let token = lockcheck::acquire("serve.prefix_cache");
-    let guard = match cache.lock() {
-        Ok(g) => g,
-        Err(poisoned) => poisoned.into_inner(),
-    };
-    (token, guard)
+    sync::lock_ranked("serve.prefix_cache", cache)
 }
 
 /// Longest common prefix of two token slices.

@@ -1,0 +1,88 @@
+//! Model-check the prefix-cache eviction-vs-fork protocol.
+//!
+//! Build with `RUSTFLAGS="--cfg astro_check"`; in normal builds this file
+//! compiles to nothing. Concurrent workers fork from a pinned anchor
+//! while another worker inserts unpinned snapshots past the byte budget
+//! (forcing LRU eviction). Under every interleaving:
+//!
+//! * the pinned anchor is never evicted — forks from it always hit;
+//! * eviction keeps the residency accounting consistent;
+//! * no deadlock on the cache mutex.
+#![cfg(astro_check)]
+
+use astro_check::{explore, CheckConfig};
+use astro_model::{InferenceSession, ModelConfig, Params};
+use astro_serve::PrefixCache;
+use astro_telemetry::sync::{self, thread, Mutex};
+use std::sync::Arc;
+
+fn cfg() -> CheckConfig {
+    CheckConfig::default()
+}
+
+/// A session fed to exactly `tokens` (zero params: the math is irrelevant
+/// to the locking protocol, only `position()` must match).
+fn session_at(params: &Params, tokens: &[u32]) -> InferenceSession {
+    let mut s = InferenceSession::new(params.cfg);
+    for &t in tokens {
+        s.feed(params, t);
+    }
+    s
+}
+
+#[test]
+fn pinned_anchor_survives_concurrent_eviction_pressure() {
+    let params = Arc::new(Params::zeros(ModelConfig::tiny(8)));
+    let report = explore(&cfg(), move || {
+        let anchor: &[u32] = &[1];
+        let mut cache = PrefixCache::new(&params.cfg, 1);
+        // Budget: exactly two snapshots — the pinned anchor plus one
+        // unpinned slot, so every further insert must evict.
+        let cap = 2 * cache.session_bytes();
+        cache = PrefixCache::new(&params.cfg, cap);
+        assert!(cache.insert(anchor, &session_at(&params, anchor), true));
+        let cache = Arc::new(Mutex::new(cache));
+
+        // Inserter: two unpinned snapshots; the second must evict the
+        // first (LRU), never the pinned anchor.
+        let c2 = Arc::clone(&cache);
+        let p2 = Arc::clone(&params);
+        let inserter = thread::spawn(move || {
+            for probe in [[1u32, 2], [1u32, 3]] {
+                let sess = session_at(&p2, &probe);
+                let (_t, mut g) = sync::lock_ranked("serve.prefix_cache", &c2);
+                g.insert(&probe, &sess, false);
+            }
+        });
+
+        // Forker: forks from the anchor concurrently — must always hit.
+        let c3 = Arc::clone(&cache);
+        let p3 = Arc::clone(&params);
+        let forker = thread::spawn(move || {
+            let mut dst = InferenceSession::new(p3.cfg);
+            let (_t, mut g) = sync::lock_ranked("serve.prefix_cache", &c3);
+            let depth = g.fork_into(&mut dst, &[1u32, 9]);
+            assert_eq!(depth, 1, "pinned anchor must stay forkable");
+        });
+
+        inserter.join().unwrap_or_else(|_| panic!("inserter panicked"));
+        forker.join().unwrap_or_else(|_| panic!("forker panicked"));
+
+        let (_t, g) = sync::lock_ranked("serve.prefix_cache", &cache);
+        assert!(g.has_snapshot(&[1]), "pinned anchor was evicted");
+        let stats = g.stats();
+        assert!(
+            stats.resident_sessions <= 2,
+            "resident sessions {} exceed the two-snapshot budget",
+            stats.resident_sessions
+        );
+        assert_eq!(
+            stats.resident_bytes,
+            stats.resident_sessions * g.session_bytes() as u64,
+            "residency accounting drifted"
+        );
+    });
+    assert!(report.ok(), "{:?}", report.violation);
+    assert!(!report.truncated);
+    assert!(report.schedules > 1, "expected interleavings, got {}", report.schedules);
+}

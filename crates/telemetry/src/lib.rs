@@ -28,6 +28,10 @@
 //! * [`lockcheck`] — debug-build **lock-order instrumentation**: ranked
 //!   locks and a thread-local held-lock stack that panics on ordering
 //!   violations, cross-checked statically by `astro-audit locks`.
+//! * [`sync`] — **swappable sync primitives**: `std` re-exports normally,
+//!   the `astro-check` model-checker shim under `--cfg astro_check`, so
+//!   the serving stack's concurrency protocols can be exhaustively
+//!   explored for deadlocks and lost wakeups.
 //!
 //! Everything is `std`-only, matching the repo's no-`serde`/no-`tracing`
 //! design rule, and every emitter is a cheap no-op until a sink is
@@ -49,6 +53,7 @@ pub mod metrics;
 pub mod sink;
 pub mod span;
 pub mod summary;
+pub mod sync;
 pub mod trace;
 
 pub use event::Event;

@@ -322,7 +322,19 @@ fn inflight() -> &'static Mutex<HashMap<u128, TraceRecord>> {
     S.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
-struct Ring {
+/// The bounded tail-sampling ring of kept traces plus the retired-span
+/// ring, with its sampling counters.
+///
+/// The process-global instance lives behind a
+/// [`crate::sync::Mutex`] (std normally, the model-checker shim under
+/// `--cfg astro_check`); it is a public type so the concurrency harness
+/// (`tests/check_ring.rs`) can exhaustively explore concurrent
+/// admit/retire/drain against a private instance. Every method keeps the
+/// structural invariants `traces.len() <= ring_capacity` and
+/// `kept == evicted + traces.len()` (over a ring that is never drained
+/// mid-count); callers need no cross-call protocol beyond holding the
+/// lock.
+pub struct TraceRing {
     cfg: TraceConfig,
     traces: VecDeque<TraceRecord>,
     retired_spans: VecDeque<SpanRecord>,
@@ -331,43 +343,145 @@ struct Ring {
     evicted: u64,
 }
 
-fn ring() -> &'static Mutex<Ring> {
-    static S: OnceLock<Mutex<Ring>> = OnceLock::new();
-    S.get_or_init(|| {
-        Mutex::new(Ring {
+impl TraceRing {
+    /// An empty ring with `cfg` (capacities clamped to at least 1).
+    pub fn new(cfg: TraceConfig) -> Self {
+        let mut ring = TraceRing {
             cfg: TraceConfig::default(),
             traces: VecDeque::new(),
             retired_spans: VecDeque::new(),
             finished: 0,
             kept: 0,
             evicted: 0,
-        })
-    })
+        };
+        ring.configure(cfg);
+        ring
+    }
+
+    /// Install a new [`TraceConfig`] (applies to traces admitted after
+    /// the call; shrinking capacities evicts immediately).
+    pub fn configure(&mut self, cfg: TraceConfig) {
+        self.cfg = TraceConfig {
+            ring_capacity: cfg.ring_capacity.max(1),
+            sample_one_in: cfg.sample_one_in.max(1),
+            slow_keep_min_count: cfg.slow_keep_min_count,
+            retired_span_capacity: cfg.retired_span_capacity.max(1),
+        };
+        while self.traces.len() > self.cfg.ring_capacity {
+            self.traces.pop_front();
+            self.evicted += 1;
+        }
+        while self.retired_spans.len() > self.cfg.retired_span_capacity {
+            self.retired_spans.pop_front();
+        }
+    }
+
+    /// The currently installed [`TraceConfig`].
+    pub fn config(&self) -> TraceConfig {
+        self.cfg
+    }
+
+    /// Classify a finished record for tail sampling and retain a copy if
+    /// kept (evicting oldest-first past capacity). `slow` is the caller's
+    /// latency verdict (ring state cannot compute percentiles). Returns
+    /// the keep reason, `""` when sampled out; `rec.keep` and
+    /// `rec.flags.slow` are stamped on the way in.
+    pub fn admit(&mut self, rec: &mut TraceRecord, slow: bool) -> &'static str {
+        self.finished += 1;
+        let cfg = self.cfg;
+        let keep = if rec.flags.deadline {
+            "deadline"
+        } else if rec.flags.error {
+            "error"
+        } else if rec.flags.fault {
+            "fault"
+        } else if slow {
+            rec.flags.slow = true;
+            "slow"
+        } else if self.finished.is_multiple_of(cfg.sample_one_in) {
+            "sampled"
+        } else {
+            ""
+        };
+        if !keep.is_empty() {
+            rec.keep = keep;
+            self.kept += 1;
+            self.traces.push_back(rec.clone());
+            while self.traces.len() > cfg.ring_capacity {
+                self.traces.pop_front();
+                self.evicted += 1;
+            }
+        }
+        keep
+    }
+
+    /// Append retired spans, evicting oldest-first past capacity.
+    pub fn retire(&mut self, spans: Vec<SpanRecord>) {
+        let cap = self.cfg.retired_span_capacity;
+        for s in spans {
+            self.retired_spans.push_back(s);
+        }
+        while self.retired_spans.len() > cap {
+            self.retired_spans.pop_front();
+        }
+    }
+
+    /// Kept traces, oldest first (cloned).
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        self.traces.iter().cloned().collect()
+    }
+
+    /// Remove and return every kept trace, oldest first.
+    pub fn drain(&mut self) -> Vec<TraceRecord> {
+        self.traces.drain(..).collect()
+    }
+
+    /// Retired spans, oldest first (cloned).
+    pub fn retired(&self) -> Vec<SpanRecord> {
+        self.retired_spans.iter().cloned().collect()
+    }
+
+    /// Kept traces currently resident.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// True when no kept trace is resident.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// `(finished, kept, evicted)` counters since construction/clear.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.finished, self.kept, self.evicted)
+    }
+
+    /// Clear traces, retired spans and counters; the config is kept.
+    pub fn clear(&mut self) {
+        self.traces.clear();
+        self.retired_spans.clear();
+        self.finished = 0;
+        self.kept = 0;
+        self.evicted = 0;
+    }
 }
 
-/// Install a new [`TraceConfig`] (applies to traces finished after the
-/// call; shrinking capacities evicts immediately).
+fn ring() -> &'static crate::sync::Mutex<TraceRing> {
+    static S: OnceLock<crate::sync::Mutex<TraceRing>> = OnceLock::new();
+    S.get_or_init(|| crate::sync::Mutex::new(TraceRing::new(TraceConfig::default())))
+}
+
+/// Install a new [`TraceConfig`] on the global ring (applies to traces
+/// finished after the call; shrinking capacities evicts immediately).
 pub fn configure(cfg: TraceConfig) {
-    let (_order, mut ring) = crate::lockcheck::lock_ranked("telemetry.trace.ring", ring());
-    ring.cfg = TraceConfig {
-        ring_capacity: cfg.ring_capacity.max(1),
-        sample_one_in: cfg.sample_one_in.max(1),
-        slow_keep_min_count: cfg.slow_keep_min_count,
-        retired_span_capacity: cfg.retired_span_capacity.max(1),
-    };
-    while ring.traces.len() > ring.cfg.ring_capacity {
-        ring.traces.pop_front();
-        ring.evicted += 1;
-    }
-    while ring.retired_spans.len() > ring.cfg.retired_span_capacity {
-        ring.retired_spans.pop_front();
-    }
+    let (_order, mut ring) = crate::sync::lock_ranked("telemetry.trace.ring", ring());
+    ring.configure(cfg);
 }
 
 /// The currently installed [`TraceConfig`].
 pub fn config() -> TraceConfig {
-    let (_order, ring) = crate::lockcheck::lock_ranked("telemetry.trace.ring", ring());
-    ring.cfg
+    let (_order, ring) = crate::sync::lock_ranked("telemetry.trace.ring", ring());
+    ring.config()
 }
 
 /// Open a trace. `start_us` anchors the trace at the moment the request
@@ -517,33 +631,9 @@ pub fn finish(id: TraceId, status: u16) -> Option<TraceRecord> {
             .observe(p.duration_us() as f64);
     }
     let keep = {
-        let (_order, mut ring) = crate::lockcheck::lock_ranked("telemetry.trace.ring", ring());
-        ring.finished += 1;
-        let cfg = ring.cfg;
-        let keep = if rec.flags.deadline {
-            "deadline"
-        } else if rec.flags.error {
-            "error"
-        } else if rec.flags.fault {
-            "fault"
-        } else if prior_count >= cfg.slow_keep_min_count && e2e >= p99 {
-            rec.flags.slow = true;
-            "slow"
-        } else if ring.finished % cfg.sample_one_in == 0 {
-            "sampled"
-        } else {
-            ""
-        };
-        if !keep.is_empty() {
-            rec.keep = keep;
-            ring.kept += 1;
-            ring.traces.push_back(rec.clone());
-            while ring.traces.len() > cfg.ring_capacity {
-                ring.traces.pop_front();
-                ring.evicted += 1;
-            }
-        }
-        keep
+        let (_order, mut ring) = crate::sync::lock_ranked("telemetry.trace.ring", ring());
+        let slow = prior_count >= ring.config().slow_keep_min_count && e2e >= p99;
+        ring.admit(&mut rec, slow)
     };
     crate::metrics::counter("trace.finished").inc();
     if keep.is_empty() {
@@ -566,14 +656,8 @@ pub fn retire_spans(spans: Vec<SpanRecord>) {
     }
     let n = spans.len() as u64;
     {
-        let (_order, mut ring) = crate::lockcheck::lock_ranked("telemetry.trace.ring", ring());
-        let cap = ring.cfg.retired_span_capacity;
-        for s in spans {
-            ring.retired_spans.push_back(s);
-        }
-        while ring.retired_spans.len() > cap {
-            ring.retired_spans.pop_front();
-        }
+        let (_order, mut ring) = crate::sync::lock_ranked("telemetry.trace.ring", ring());
+        ring.retire(spans);
     }
     crate::metrics::counter("span.retired").add(n);
 }
@@ -581,20 +665,20 @@ pub fn retire_spans(spans: Vec<SpanRecord>) {
 /// Snapshot the retired-span ring (most recent `retired_span_capacity`
 /// spans evicted from the live registry).
 pub fn retired_spans() -> Vec<SpanRecord> {
-    let (_order, ring) = crate::lockcheck::lock_ranked("telemetry.trace.ring", ring());
-    ring.retired_spans.iter().cloned().collect()
+    let (_order, ring) = crate::sync::lock_ranked("telemetry.trace.ring", ring());
+    ring.retired()
 }
 
 /// Snapshot the kept-trace ring, oldest first.
 pub fn ring_snapshot() -> Vec<TraceRecord> {
-    let (_order, ring) = crate::lockcheck::lock_ranked("telemetry.trace.ring", ring());
-    ring.traces.iter().cloned().collect()
+    let (_order, ring) = crate::sync::lock_ranked("telemetry.trace.ring", ring());
+    ring.snapshot()
 }
 
 /// Drain the kept-trace ring, oldest first.
 pub fn drain_ring() -> Vec<TraceRecord> {
-    let (_order, mut ring) = crate::lockcheck::lock_ranked("telemetry.trace.ring", ring());
-    ring.traces.drain(..).collect()
+    let (_order, mut ring) = crate::sync::lock_ranked("telemetry.trace.ring", ring());
+    ring.drain()
 }
 
 /// Write every kept trace in the ring to `path` as JSONL; returns the
@@ -631,14 +715,9 @@ pub fn stats() -> TraceStats {
         let (_order, map) = crate::lockcheck::lock_ranked("telemetry.trace.inflight", inflight());
         map.len()
     };
-    let (_order, ring) = crate::lockcheck::lock_ranked("telemetry.trace.ring", ring());
-    TraceStats {
-        inflight: inflight_n,
-        finished: ring.finished,
-        kept: ring.kept,
-        evicted: ring.evicted,
-        ring_len: ring.traces.len(),
-    }
+    let (_order, ring) = crate::sync::lock_ranked("telemetry.trace.ring", ring());
+    let (finished, kept, evicted) = ring.counters();
+    TraceStats { inflight: inflight_n, finished, kept, evicted, ring_len: ring.len() }
 }
 
 /// Clear all trace state — in-flight table, ring, retired spans and
@@ -649,12 +728,8 @@ pub fn reset() {
             crate::lockcheck::lock_ranked("telemetry.trace.inflight", inflight());
         map.clear();
     }
-    let (_order, mut ring) = crate::lockcheck::lock_ranked("telemetry.trace.ring", ring());
-    ring.traces.clear();
-    ring.retired_spans.clear();
-    ring.finished = 0;
-    ring.kept = 0;
-    ring.evicted = 0;
+    let (_order, mut ring) = crate::sync::lock_ranked("telemetry.trace.ring", ring());
+    ring.clear();
 }
 
 #[cfg(test)]

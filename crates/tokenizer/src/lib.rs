@@ -24,6 +24,7 @@ mod serial;
 
 pub use bpe::{train_bpe, BpeTrainerConfig};
 pub use chat::{ChatMessage, ChatTemplate, Role};
+pub use serial::SerialError;
 
 use std::collections::HashMap;
 
@@ -196,7 +197,7 @@ impl Tokenizer {
     }
 
     /// Deserialise from [`Tokenizer::to_bytes`] output.
-    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SerialError> {
         serial::tokenizer_from_bytes(bytes)
     }
 

@@ -12,6 +12,69 @@ use crate::{TokenId, Tokenizer};
 
 const MAGIC: u32 = 0x4250_4531;
 
+/// Why a tokenizer blob failed to deserialise. Mirrors the model
+/// checkpoint's `CkptError`: a typed error callers can match on instead
+/// of string-scraping.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SerialError {
+    /// Blob shorter than the 8-byte header.
+    TooShort {
+        /// Actual blob length.
+        len: usize,
+    },
+    /// Header magic does not identify a tokenizer blob.
+    BadMagic {
+        /// The magic value found.
+        got: u32,
+    },
+    /// Body length inconsistent with the declared merge count.
+    LengthMismatch {
+        /// Actual blob length.
+        len: usize,
+        /// Declared number of merges.
+        merges: usize,
+        /// Length the declared count implies.
+        want: usize,
+    },
+    /// A merge rule references a token not yet defined at its rank.
+    ForwardReference {
+        /// Rank of the offending merge.
+        rank: usize,
+        /// Left operand token id.
+        a: u32,
+        /// Right operand token id.
+        b: u32,
+    },
+}
+
+impl std::fmt::Display for SerialError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SerialError::TooShort { len } => {
+                write!(f, "tokenizer blob too short ({len} bytes, need 8)")
+            }
+            SerialError::BadMagic { got } => write!(f, "bad tokenizer magic {got:#x}"),
+            SerialError::LengthMismatch { len, merges, want } => write!(
+                f,
+                "tokenizer blob length {len} does not match {merges} merges (want {want})"
+            ),
+            SerialError::ForwardReference { rank, a, b } => {
+                write!(f, "merge {rank} references undefined token ({a},{b})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SerialError {}
+
+/// Read a little-endian `u32` at `off`. Caller guarantees the bounds;
+/// the fixed-size copy cannot fail.
+fn read_u32(bytes: &[u8], off: usize) -> u32 {
+    let mut le = [0u8; 4];
+    le.copy_from_slice(&bytes[off..off + 4]);
+    u32::from_le_bytes(le)
+}
+
 /// Serialise a tokenizer's merge table.
 pub fn tokenizer_to_bytes(tok: &Tokenizer) -> Vec<u8> {
     let merges = tok.merges();
@@ -26,35 +89,34 @@ pub fn tokenizer_to_bytes(tok: &Tokenizer) -> Vec<u8> {
 }
 
 /// Deserialise a tokenizer from [`tokenizer_to_bytes`] output.
-pub fn tokenizer_from_bytes(bytes: &[u8]) -> Result<Tokenizer, String> {
+pub fn tokenizer_from_bytes(bytes: &[u8]) -> Result<Tokenizer, SerialError> {
     if bytes.len() < 8 {
-        return Err("tokenizer blob too short".to_string());
+        return Err(SerialError::TooShort { len: bytes.len() });
     }
-    let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("sliced"));
+    let magic = read_u32(bytes, 0);
     if magic != MAGIC {
-        return Err(format!("bad tokenizer magic {magic:#x}"));
+        return Err(SerialError::BadMagic { got: magic });
     }
-    let count = u32::from_le_bytes(bytes[4..8].try_into().expect("sliced")) as usize;
+    let count = read_u32(bytes, 4) as usize;
     let want = 8 + count * 8;
     if bytes.len() != want {
-        return Err(format!(
-            "tokenizer blob length {} does not match {count} merges (want {want})",
-            bytes.len()
-        ));
+        return Err(SerialError::LengthMismatch {
+            len: bytes.len(),
+            merges: count,
+            want,
+        });
     }
     let mut merges: Vec<(TokenId, TokenId)> = Vec::with_capacity(count);
     for i in 0..count {
         let off = 8 + i * 8;
-        let a = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("sliced"));
-        let b = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().expect("sliced"));
-        merges.push((a, b));
+        merges.push((read_u32(bytes, off), read_u32(bytes, off + 4)));
     }
     // Validate that merge operands refer to already-defined tokens.
     let base = (256 + crate::SPECIALS.len()) as u32;
     for (rank, &(a, b)) in merges.iter().enumerate() {
         let limit = base + rank as u32;
         if a >= limit || b >= limit {
-            return Err(format!("merge {rank} references undefined token ({a},{b})"));
+            return Err(SerialError::ForwardReference { rank, a, b });
         }
     }
     Ok(Tokenizer::from_merges(merges))
@@ -89,7 +151,10 @@ mod tests {
         blob.extend_from_slice(&1u32.to_le_bytes());
         blob.extend_from_slice(&999u32.to_le_bytes());
         blob.extend_from_slice(&0u32.to_le_bytes());
-        assert!(tokenizer_from_bytes(&blob).is_err());
+        assert!(matches!(
+            tokenizer_from_bytes(&blob),
+            Err(SerialError::ForwardReference { rank: 0, a: 999, b: 0 })
+        ));
     }
 
     #[test]
@@ -103,6 +168,27 @@ mod tests {
             },
         );
         let blob = tokenizer_to_bytes(&tok);
-        assert!(tokenizer_from_bytes(&blob[..blob.len() - 1]).is_err());
+        assert!(matches!(
+            tokenizer_from_bytes(&blob[..blob.len() - 1]),
+            Err(SerialError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn typed_errors_cover_header_failures() {
+        assert!(matches!(
+            tokenizer_from_bytes(&[1, 2, 3]),
+            Err(SerialError::TooShort { len: 3 })
+        ));
+        let mut blob = Vec::new();
+        blob.extend_from_slice(&0xdead_beefu32.to_le_bytes());
+        blob.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            tokenizer_from_bytes(&blob),
+            Err(SerialError::BadMagic { got: 0xdead_beef })
+        ));
+        // Display stays human-readable for log lines.
+        let msg = SerialError::TooShort { len: 3 }.to_string();
+        assert!(msg.contains("too short"), "{msg}");
     }
 }
